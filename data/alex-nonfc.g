@@ -1,0 +1,26 @@
+.model alex-nonfc
+.inputs a b
+.outputs x y z w
+.graph
+a+ x+
+b+ y+
+x+ z+
+z+ z-
+z- z+/2
+z+/2 z-/2
+z-/2 a-
+a- x-
+x- p0
+x- p
+y+ w+
+w+ w-
+w- w+/2
+w+/2 w-/2
+w-/2 b-
+b- y-
+y- p0
+y- p
+p0 a+ b+
+p x+ y+
+.marking { p0 p }
+.end

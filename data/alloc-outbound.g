@@ -1,0 +1,41 @@
+.model alloc-outbound
+.inputs req alloc
+.outputs ack sendline rts tack free
+.dummy fork join
+.graph
+req+ p1
+alloc+ p2
+fork p4
+fork p9
+join p3
+sendline+ p6
+rts+ p7
+rts- p8
+sendline- p5
+tack+ p11
+tack- p10
+free+ p12
+alloc- p13
+ack+ p14
+req- p15
+free- p16
+ack- p0
+p0 req+
+p1 alloc+
+p2 fork
+p3 free+
+p4 sendline+
+p5 join
+p6 rts+
+p7 rts-
+p8 sendline-
+p9 tack+
+p10 join
+p11 tack-
+p12 alloc-
+p13 ack+
+p14 req-
+p15 free-
+p16 ack-
+.marking { p0 }
+.end

@@ -1,0 +1,37 @@
+.model atod
+.inputs go cmp
+.outputs smp cnv dne ldr
+.dummy fork join
+.graph
+go+ p1
+smp+ p2
+fork p4
+fork p9
+join p3
+cnv+ p6
+cmp+ p7
+cnv- p8
+cmp- p5
+ldr+ p11
+ldr- p10
+smp- p12
+dne+ p13
+go- p14
+dne- p0
+p0 go+
+p1 smp+
+p2 fork
+p3 smp-
+p4 cnv+
+p5 join
+p6 cmp+
+p7 cnv-
+p8 cmp-
+p9 ldr+
+p10 join
+p11 ldr-
+p12 dne+
+p13 go-
+p14 dne-
+.marking { p0 }
+.end

@@ -1,0 +1,29 @@
+.model fifo
+.inputs ri ao
+.outputs ai ro
+.dummy fork join
+.graph
+ri+ p1
+ai+ p2
+fork p3
+fork p6
+join p0
+ri- p5
+ai- p4
+ro+ p8
+ao+ p9
+ro- p10
+ao- p7
+p0 ri+
+p1 ai+
+p2 fork
+p3 ri-
+p4 join
+p5 ai-
+p6 ro+
+p7 join
+p8 ao+
+p9 ro-
+p10 ao-
+.marking { p0 }
+.end

@@ -1,0 +1,47 @@
+.model mmu0
+.inputs r p1 p2
+.outputs q1 q2 x y w
+.dummy fork join
+.graph
+r+ p1
+fork p3
+fork p8
+fork p13
+join p2
+p1+ p5
+q1+ p6
+q1- p7
+p1- p4
+p2+ p10
+q2+ p11
+q2- p12
+p2- p9
+x+ p15
+y+ p16
+y- p17
+x- p18
+w+ p19
+w- p14
+r- p0
+p0 r+
+p1 fork
+p2 r-
+p3 p1+
+p4 join
+p5 q1+
+p6 q1-
+p7 p1-
+p8 p2+
+p9 join
+p10 q2+
+p11 q2-
+p12 p2-
+p13 x+
+p14 join
+p15 y+
+p16 y-
+p17 x-
+p18 w+
+p19 w-
+.marking { p0 }
+.end

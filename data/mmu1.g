@@ -1,0 +1,47 @@
+.model mmu1
+.inputs r p1 p2
+.outputs q1 q2 x d e
+.dummy fork join
+.graph
+r+ p1
+fork p3
+fork p8
+fork p13
+join p2
+p1+ p5
+q1+ p6
+q1- p7
+p1- p4
+p2+ p10
+q2+ p11
+q2- p12
+p2- p9
+x+ p15
+x- p14
+r- p16
+d+ p17
+e+ p18
+d- p19
+e- p0
+p0 r+
+p1 fork
+p2 r-
+p3 p1+
+p4 join
+p5 q1+
+p6 q1-
+p7 p1-
+p8 p2+
+p9 join
+p10 q2+
+p11 q2-
+p12 p2-
+p13 x+
+p14 join
+p15 x-
+p16 d+
+p17 e+
+p18 d-
+p19 e-
+.marking { p0 }
+.end

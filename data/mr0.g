@@ -1,0 +1,61 @@
+.model mr0
+.inputs r p1 p2 p3
+.outputs q1 q2 q3 x d e f
+.dummy fork join
+.graph
+r+ p1
+fork p3
+fork p8
+fork p13
+fork p18
+join p2
+p1+ p5
+q1+ p6
+q1- p7
+p1- p4
+p2+ p10
+q2+ p11
+q2- p12
+p2- p9
+p3+ p15
+q3+ p16
+q3- p17
+p3- p14
+x+ p20
+x- p19
+r- p21
+d+ p22
+e+ p23
+d- p24
+f+ p25
+e- p26
+f- p0
+p0 r+
+p1 fork
+p2 r-
+p3 p1+
+p4 join
+p5 q1+
+p6 q1-
+p7 p1-
+p8 p2+
+p9 join
+p10 q2+
+p11 q2-
+p12 p2-
+p13 p3+
+p14 join
+p15 q3+
+p16 q3-
+p17 p3-
+p18 x+
+p19 join
+p20 x-
+p21 d+
+p22 e+
+p23 d-
+p24 f+
+p25 e-
+p26 f-
+.marking { p0 }
+.end

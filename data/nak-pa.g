@@ -1,0 +1,49 @@
+.model nak-pa
+.inputs req nak
+.outputs ack a b c d done idle
+.dummy fork join
+.graph
+req+ p1
+idle- p2
+fork p4
+fork p9
+join p3
+a+ p6
+b+ p7
+b- p8
+a- p5
+c+ p11
+d+ p12
+d- p13
+c- p10
+nak+ p14
+nak- p15
+done+ p16
+ack+ p17
+req- p18
+done- p19
+idle+ p20
+ack- p0
+p0 req+
+p1 idle-
+p2 fork
+p3 nak+
+p4 a+
+p5 join
+p6 b+
+p7 b-
+p8 a-
+p9 c+
+p10 join
+p11 d+
+p12 d-
+p13 c-
+p14 nak-
+p15 done+
+p16 ack+
+p17 req-
+p18 done-
+p19 idle+
+p20 ack-
+.marking { p0 }
+.end

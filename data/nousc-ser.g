@@ -1,0 +1,18 @@
+.model nousc-ser
+.inputs a
+.outputs b c
+.graph
+a+ p1
+b+ p2
+b- p3
+c+ p4
+c- p5
+a- p0
+p0 a+
+p1 b+
+p2 b-
+p3 c+
+p4 c-
+p5 a-
+.marking { p0 }
+.end

@@ -1,0 +1,25 @@
+.model nouse
+.inputs a
+.outputs b c
+.dummy fork join
+.graph
+a+ p1
+fork p3
+fork p6
+join p2
+b+ p5
+b- p4
+c+ p8
+c- p7
+a- p0
+p0 a+
+p1 fork
+p2 a-
+p3 b+
+p4 join
+p5 b-
+p6 c+
+p7 join
+p8 c-
+.marking { p0 }
+.end

@@ -1,0 +1,36 @@
+.model pa
+.inputs pr mr
+.outputs pack mack
+.dummy pick fork join
+.graph
+pick p1
+pr+ p2
+fork p4
+fork p7
+join p3
+pack+ p6
+pack- p5
+mack+ p9
+mack- p8
+pr- p0
+pick/2 p10
+mr+ p11
+mack+/2 p12
+mack-/2 p13
+mr- p0
+p0 pick pick/2
+p1 pr+
+p2 fork
+p3 pr-
+p4 pack+
+p5 join
+p6 pack-
+p7 mack+
+p8 join
+p9 mack-
+p10 mr+
+p11 mack+/2
+p12 mack-/2
+p13 mr-
+.marking { p0 }
+.end

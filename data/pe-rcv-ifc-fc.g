@@ -1,0 +1,45 @@
+.model pe-rcv-ifc-fc
+.inputs rdiq pkt
+.outputs aiq rok put taken rdo ado
+.dummy fork join
+.graph
+rdiq+ p1
+rok+ p2
+fork p4
+fork p9
+join p3
+put+ p6
+taken+ p7
+taken- p8
+put- p5
+rdo+ p11
+ado+ p12
+ado- p13
+rdo- p10
+pkt+ p14
+pkt- p15
+rok- p16
+aiq+ p17
+rdiq- p18
+aiq- p0
+p0 rdiq+
+p1 rok+
+p2 fork
+p3 pkt+
+p4 put+
+p5 join
+p6 taken+
+p7 taken-
+p8 put-
+p9 rdo+
+p10 join
+p11 ado+
+p12 ado-
+p13 rdo-
+p14 pkt-
+p15 rok-
+p16 aiq+
+p17 rdiq-
+p18 aiq-
+.marking { p0 }
+.end

@@ -1,0 +1,53 @@
+.model ram-read-sbuf
+.inputs req prb
+.outputs ack ramcs ramwe bus wen rd pab dack
+.dummy fork join
+.graph
+req+ p1
+ramcs+ p2
+fork p4
+fork p9
+join p3
+ramwe+ p6
+bus+ p7
+bus- p8
+ramwe- p5
+wen+ p11
+wen- p10
+ramcs- p12
+rd+ p13
+prb+ p14
+pab+ p15
+prb- p16
+pab- p17
+rd- p18
+dack+ p19
+ack+ p20
+req- p21
+dack- p22
+ack- p0
+p0 req+
+p1 ramcs+
+p2 fork
+p3 ramcs-
+p4 ramwe+
+p5 join
+p6 bus+
+p7 bus-
+p8 ramwe-
+p9 wen+
+p10 join
+p11 wen-
+p12 rd+
+p13 prb+
+p14 pab+
+p15 prb-
+p16 pab-
+p17 rd-
+p18 dack+
+p19 ack+
+p20 req-
+p21 dack-
+p22 ack-
+.marking { p0 }
+.end

@@ -1,0 +1,53 @@
+.model sbuf-ram-write
+.inputs req prb
+.outputs ack ramcs ramwe wen bus dat pab dack
+.dummy fork join
+.graph
+req+ p1
+ramcs+ p2
+fork p4
+fork p9
+join p3
+ramwe+ p6
+wen+ p7
+wen- p8
+ramwe- p5
+bus+ p11
+dat+ p12
+dat- p13
+bus- p10
+dack+ p14
+dack- p15
+ramcs- p16
+prb+ p17
+pab+ p18
+prb- p19
+pab- p20
+ack+ p21
+req- p22
+ack- p0
+p0 req+
+p1 ramcs+
+p2 fork
+p3 dack+
+p4 ramwe+
+p5 join
+p6 wen+
+p7 wen-
+p8 ramwe-
+p9 bus+
+p10 join
+p11 dat+
+p12 dat-
+p13 bus-
+p14 dack-
+p15 ramcs-
+p16 prb+
+p17 pab+
+p18 prb-
+p19 pab-
+p20 ack+
+p21 req-
+p22 ack-
+.marking { p0 }
+.end

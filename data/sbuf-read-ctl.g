@@ -1,0 +1,30 @@
+.model sbuf-read-ctl
+.inputs req prb
+.outputs ack busy ramcs pab
+.graph
+req+ p1
+busy+ p2
+ramcs+ p3
+ramcs- p4
+prb+ p5
+pab+ p6
+prb- p7
+pab- p8
+ack+ p9
+busy- p10
+req- p11
+ack- p0
+p0 req+
+p1 busy+
+p2 ramcs+
+p3 ramcs-
+p4 prb+
+p5 pab+
+p6 prb-
+p7 pab-
+p8 ack+
+p9 busy-
+p10 req-
+p11 ack-
+.marking { p0 }
+.end

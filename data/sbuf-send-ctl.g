@@ -1,0 +1,37 @@
+.model sbuf-send-ctl
+.inputs req done
+.outputs ack sendgnt latch idle
+.dummy fork join
+.graph
+req+ p1
+idle- p2
+fork p4
+fork p9
+join p3
+sendgnt+ p6
+latch+ p7
+latch- p8
+sendgnt- p5
+done+ p11
+done- p10
+ack+ p12
+req- p13
+idle+ p14
+ack- p0
+p0 req+
+p1 idle-
+p2 fork
+p3 ack+
+p4 sendgnt+
+p5 join
+p6 latch+
+p7 latch-
+p8 sendgnt-
+p9 done+
+p10 join
+p11 done-
+p12 req-
+p13 idle+
+p14 ack-
+.marking { p0 }
+.end

@@ -1,0 +1,37 @@
+.model sbuf-send-pkt2
+.inputs req tack
+.outputs ack rts line send
+.dummy fork join
+.graph
+req+ p1
+rts+ p2
+fork p4
+fork p9
+join p3
+line+ p6
+tack+ p7
+line- p8
+tack- p5
+send+ p11
+send- p10
+rts- p12
+ack+ p13
+req- p14
+ack- p0
+p0 req+
+p1 rts+
+p2 fork
+p3 rts-
+p4 line+
+p5 join
+p6 tack+
+p7 line-
+p8 tack-
+p9 send+
+p10 join
+p11 send-
+p12 ack+
+p13 req-
+p14 ack-
+.marking { p0 }
+.end

@@ -1,0 +1,18 @@
+.model sendr-done
+.inputs req
+.outputs sendr done
+.graph
+req+ p1
+sendr+ p2
+sendr- p3
+done+ p4
+req- p5
+done- p0
+p0 req+
+p1 sendr+
+p2 sendr-
+p3 done+
+p4 req-
+p5 done-
+.marking { p0 }
+.end

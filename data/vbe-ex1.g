@@ -1,0 +1,21 @@
+.model vbe-ex1
+.inputs a
+.outputs b
+.dummy fork join
+.graph
+a+ p1
+fork p3
+fork p5
+join p2
+a- p4
+b+ p6
+b- p0
+p0 a+
+p1 fork
+p2 b-
+p3 a-
+p4 join
+p5 b+
+p6 join
+.marking { p0 }
+.end

@@ -1,0 +1,25 @@
+.model vbe-ex2
+.inputs a
+.outputs b
+.dummy fork join
+.graph
+a+ p1
+fork p3
+fork p6
+join p2
+b+ p5
+b- p4
+a- p7
+b+/2 p8
+b-/2 p0
+p0 a+
+p1 fork
+p2 b+/2
+p3 b+
+p4 join
+p5 b-
+p6 a-
+p7 join
+p8 b-/2
+.marking { p0 }
+.end

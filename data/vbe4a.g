@@ -1,0 +1,61 @@
+.model vbe4a
+.inputs r e
+.outputs a b c d
+.dummy fork join
+.graph
+r+ p1
+fork p3
+fork p8
+join p2
+a+ p5
+b+ p6
+b- p7
+a- p4
+c+ p10
+d+ p11
+c- p12
+d- p9
+r- p13
+e+ p14
+fork/2 p16
+fork/2 p21
+fork/2 p24
+join/2 p15
+c+/2 p18
+d+/2 p19
+d-/2 p20
+c-/2 p17
+a+/2 p23
+a-/2 p22
+b+/2 p26
+b-/2 p25
+e- p0
+p0 r+
+p1 fork
+p2 r-
+p3 a+
+p4 join
+p5 b+
+p6 b-
+p7 a-
+p8 c+
+p9 join
+p10 d+
+p11 c-
+p12 d-
+p13 e+
+p14 fork/2
+p15 e-
+p16 c+/2
+p17 join/2
+p18 d+/2
+p19 d-/2
+p20 c-/2
+p21 a+/2
+p22 join/2
+p23 a-/2
+p24 b+/2
+p25 join/2
+p26 b-/2
+.marking { p0 }
+.end

@@ -1,0 +1,29 @@
+.model wrdata
+.inputs req
+.outputs wr dat ack
+.dummy fork join
+.graph
+req+ p1
+fork p3
+fork p8
+join p2
+wr+ p5
+dat+ p6
+dat- p7
+wr- p4
+ack+ p10
+ack- p9
+req- p0
+p0 req+
+p1 fork
+p2 req-
+p3 wr+
+p4 join
+p5 dat+
+p6 dat-
+p7 wr-
+p8 ack+
+p9 join
+p10 ack-
+.marking { p0 }
+.end

@@ -1,0 +1,323 @@
+(* mpsyn — modular partitioning synthesis of asynchronous circuits.
+
+   Subcommands:
+     info       parse an STG and report structure / CSC statistics
+     synth      synthesize (modular | direct | sequential), print circuit
+     bench      run one named benchmark through all three methods
+     list       list the built-in benchmarks
+     gen        emit a generated STG family member as .g text
+     dot        emit the state graph in Graphviz dot syntax
+     verilog    synthesize and emit a structural Verilog netlist *)
+
+open Cmdliner
+
+let load_stg path_or_name =
+  if Sys.file_exists path_or_name then Gformat.parse_file path_or_name
+  else
+    match List.assoc_opt path_or_name Bench_data.all with
+    | Some build -> build ()
+    | None ->
+      Printf.eprintf "mpsyn: no such file or benchmark: %s\n" path_or_name;
+      exit 2
+
+let stg_arg =
+  let doc = "STG file in .g format, or the name of a built-in benchmark." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"STG" ~doc)
+
+let method_arg =
+  let doc =
+    "Synthesis method: $(b,modular) (the paper's partitioning approach), \
+     $(b,direct) (Vanbekbergen-style single SAT formula), or \
+     $(b,sequential) (Lavagno-style one-signal-at-a-time insertion)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("modular", `Modular); ("direct", `Direct); ("sequential", `Sequential) ]) `Modular
+    & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let backtrack_arg =
+  let doc = "Abort a SAT search after this many backtracks." in
+  Arg.(value & opt (some int) None & info [ "backtrack-limit" ] ~doc)
+
+let time_arg =
+  let doc = "Abort after this many CPU seconds." in
+  Arg.(value & opt (some float) None & info [ "time-limit" ] ~doc)
+
+let hazard_arg =
+  let doc = "Enlarge covers to remove static-1 hazards." in
+  Arg.(value & flag & info [ "hazard-free" ] ~doc)
+
+let backend_arg =
+  let doc =
+    "Constraint engine for the modular method: $(b,sat) (WalkSAT + DPLL) or \
+     $(b,bdd) (symbolic, falls back to SAT on blowup)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("sat", `Sat); ("bdd", `Bdd) ]) `Sat
+    & info [ "backend" ] ~docv:"ENGINE" ~doc)
+
+let portfolio_arg =
+  let doc = "Try both module-normalization settings and keep the smaller circuit." in
+  Arg.(value & flag & info [ "portfolio" ] ~doc)
+
+let celements_arg =
+  let doc =
+    "Also print the set/reset (generalised C-element) decomposition of \
+     each output."
+  in
+  Arg.(value & flag & info [ "celements" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let run stg_name =
+    let stg = load_stg stg_name in
+    Format.printf "%a@." Stg.pp stg;
+    let issues = Stg.validate stg in
+    if issues = [] then Format.printf "validation: ok@."
+    else
+      List.iter
+        (fun i -> Format.printf "validation: %a@." (Stg.pp_issue stg) i)
+        issues;
+    (match Invariants.p_invariants (Stg.net stg) with
+    | invs ->
+      Format.printf "place invariants: %d%s@." (List.length invs)
+        (if Invariants.covered (Stg.net stg) invs then
+           " (net structurally bounded)"
+         else "");
+      List.iter
+        (fun i -> Format.printf "  %a@." (Invariants.pp (Stg.net stg)) i)
+        invs
+    | exception Invariants.Too_many _ ->
+      Format.printf "place invariants: (too many to enumerate)@.");
+    let sg = Sg.of_stg stg in
+    Format.printf "%a@." Csc.pp_summary sg;
+    Format.printf "state-signal lower bound: %d@." (Csc.lower_bound sg);
+    List.iter
+      (fun o ->
+        Format.printf "triggers(%s) = {%s}@." (Sg.signal_name sg o)
+          (String.concat ", "
+             (List.map (Sg.signal_name sg)
+                (Input_derivation.triggers sg ~output:o))))
+      (List.filter (Sg.non_input sg) (List.init (Sg.n_signals sg) Fun.id));
+    0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Report STG structure and CSC statistics")
+    Term.(const run $ stg_arg)
+
+let print_functions fs =
+  List.iter (fun f -> Format.printf "  %a@." Derive.pp_func f) fs
+
+let synth_cmd =
+  let run stg_name method_ backtrack_limit time_limit hazard_free backend
+      portfolio celements =
+    let stg = load_stg stg_name in
+    match method_ with
+    | `Modular ->
+      let config =
+        {
+          Mpart.default_config with
+          backtrack_limit;
+          time_limit;
+          hazard_free;
+          backend;
+        }
+      in
+      let r =
+        if portfolio then Mpart.synthesize_best ~config stg
+        else Mpart.synthesize ~config stg
+      in
+      Format.printf "%a@." Mpart.pp_report r;
+      print_functions r.Mpart.functions;
+      Format.printf "speed independence: %s@."
+        (if Persistency.is_semi_modular r.Mpart.expanded then "semi-modular"
+         else "VIOLATED");
+      if celements then begin
+        let cs = Celement.decompose_all r.Mpart.expanded in
+        Format.printf "C-element decomposition (%d literals):@."
+          (Celement.total_literals cs);
+        List.iter (fun c -> Format.printf "  %a@." Celement.pp c) cs;
+        match Celement.verify r.Mpart.expanded cs with
+        | [] -> ()
+        | errs -> List.iter (Format.printf "  !! %s@.") errs
+      end;
+      (match Mpart.verify r with
+      | None -> Format.printf "verification: ok@."; 0
+      | Some e -> Format.printf "verification: %s@." e; 1)
+    | `Direct -> (
+      let sg = Sg.of_stg stg in
+      let r = Csc_direct.solve ?backtrack_limit ?time_limit sg in
+      List.iter
+        (fun (f : Csc_direct.formula_size) ->
+          Format.printf "formula: %d vars, %d clauses@." f.vars f.clauses)
+        r.Csc_direct.formulas;
+      match r.Csc_direct.outcome with
+      | Csc_direct.Gave_up reason ->
+        Format.printf "direct method aborted (%s)@."
+          (match reason with
+          | Dpll.Backtrack_limit -> "backtrack limit"
+          | Dpll.Time_limit -> "time limit");
+        1
+      | Csc_direct.Solved solved ->
+        let expanded = Sg_expand.expand solved in
+        let fs = Derive.synthesize expanded in
+        Format.printf
+          "direct: %d -> %d states, %d -> %d signals, %d literals, %.3fs@."
+          (Sg.n_states sg) (Sg.n_states expanded) (Sg.n_signals sg)
+          (Sg.n_signals expanded)
+          (Derive.total_literals fs)
+          r.Csc_direct.elapsed;
+        print_functions fs;
+        0)
+    | `Sequential -> (
+      let sg = Sg.of_stg stg in
+      match Sequential_insertion.synthesize ?backtrack_limit ?time_limit sg with
+      | Either.Right reason ->
+        Format.printf "sequential method aborted (%s)@."
+          (match reason with
+          | Dpll.Backtrack_limit -> "backtrack limit"
+          | Dpll.Time_limit -> "time limit");
+        1
+      | Either.Left (expanded, fs, rep) ->
+        Format.printf
+          "sequential: %d -> %d states, %d -> %d signals, %d literals, %.3fs@."
+          (Sg.n_states sg) (Sg.n_states expanded) (Sg.n_signals sg)
+          (Sg.n_signals expanded)
+          (Derive.total_literals fs)
+          rep.Sequential_insertion.elapsed;
+        print_functions fs;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize a speed-independent circuit from an STG")
+    Term.(
+      const run $ stg_arg $ method_arg $ backtrack_arg $ time_arg $ hazard_arg
+      $ backend_arg $ portfolio_arg $ celements_arg)
+
+let bench_cmd =
+  let run stg_name =
+    let stg = load_stg stg_name in
+    let sg = Sg.of_stg stg in
+    Format.printf "%a@." Csc.pp_summary sg;
+    let t0 = Sys.time () in
+    let r = Mpart.synthesize stg in
+    Format.printf "modular:    %3d signals, %4d states, area %4d, %6.3fs@."
+      (Mpart.final_signals r) (Mpart.final_states r) (Mpart.area_literals r)
+      (Sys.time () -. t0);
+    let t0 = Sys.time () in
+    (match
+       Csc_direct.solve ~backtrack_limit:2_000_000 ~time_limit:60.0 sg
+     with
+    | { Csc_direct.outcome = Csc_direct.Solved solved; _ } ->
+      let expanded = Sg_expand.expand solved in
+      let fs = Derive.synthesize expanded in
+      Format.printf "direct:     %3d signals, %4d states, area %4d, %6.3fs@."
+        (Sg.n_signals expanded) (Sg.n_states expanded)
+        (Derive.total_literals fs) (Sys.time () -. t0)
+    | { Csc_direct.outcome = Csc_direct.Gave_up _; _ } ->
+      Format.printf "direct:     aborted after %6.3fs@." (Sys.time () -. t0));
+    let t0 = Sys.time () in
+    (match
+       Sequential_insertion.synthesize ~backtrack_limit:2_000_000
+         ~time_limit:60.0 sg
+     with
+    | Either.Left (expanded, fs, _) ->
+      Format.printf "sequential: %3d signals, %4d states, area %4d, %6.3fs@."
+        (Sg.n_signals expanded) (Sg.n_states expanded)
+        (Derive.total_literals fs) (Sys.time () -. t0)
+    | Either.Right _ ->
+      Format.printf "sequential: aborted after %6.3fs@." (Sys.time () -. t0));
+    0
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compare the three methods on one benchmark")
+    Term.(const run $ stg_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Bench_suite.entry) ->
+        Printf.printf "%-16s %4d states, %2d signals (Table 1)\n"
+          e.Bench_suite.name e.Bench_suite.paper.Bench_suite.initial_states
+          e.Bench_suite.paper.Bench_suite.initial_signals)
+      Bench_suite.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in benchmark reconstructions")
+    Term.(const run $ const ())
+
+let gen_cmd =
+  let family =
+    let doc = "Family: pipeline, pulsers, or mixed." in
+    Arg.(
+      required
+      & pos 0
+          (some (enum [ ("pipeline", `P); ("pulsers", `C); ("mixed", `M) ]))
+          None
+      & info [] ~docv:"FAMILY" ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"size parameter")
+  in
+  let k_arg =
+    Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc:"branch parameter")
+  in
+  let run fam n k =
+    let stg =
+      match fam with
+      | `P -> Bench_gen.pipeline ~stages:n
+      | `C -> Bench_gen.concurrent_pulsers ~branches:k
+      | `M -> Bench_gen.mixed ~stages:n ~branches:k
+    in
+    print_string (Gformat.to_string stg);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a generated STG in .g format")
+    Term.(const run $ family $ n_arg $ k_arg)
+
+let verilog_cmd =
+  let run stg_name =
+    let stg = load_stg stg_name in
+    let r = Mpart.synthesize_best stg in
+    (match Mpart.verify r with
+    | None -> ()
+    | Some e ->
+      Printf.eprintf "verification failed: %s\n" e;
+      exit 1);
+    let inputs =
+      List.map (Stg.signal_name stg) (Stg.inputs stg)
+    in
+    let nl =
+      Netlist.of_functions ~name:(Stg.name stg) ~inputs r.Mpart.functions
+    in
+    print_string (Netlist.to_verilog nl);
+    Printf.eprintf "// %d gates, ~%d transistors, max fanin %d\n"
+      (Netlist.n_gates nl) (Netlist.n_transistors nl) (Netlist.max_fanin nl);
+    0
+  in
+  Cmd.v
+    (Cmd.info "verilog"
+       ~doc:"Synthesize and emit a structural Verilog netlist")
+    Term.(const run $ stg_arg)
+
+let dot_cmd =
+  let run stg_name =
+    let stg = load_stg stg_name in
+    print_string (Sg.to_dot (Sg.of_stg stg));
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the state graph in Graphviz dot syntax")
+    Term.(const run $ stg_arg)
+
+let () =
+  let doc = "modular partitioning synthesis of asynchronous circuits" in
+  let cmd =
+    Cmd.group
+      (Cmd.info "mpsyn" ~version:"1.0.0" ~doc)
+      [ info_cmd; synth_cmd; bench_cmd; list_cmd; gen_cmd; dot_cmd; verilog_cmd ]
+  in
+  exit (Cmd.eval' cmd)

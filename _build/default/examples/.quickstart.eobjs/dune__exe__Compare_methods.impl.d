@@ -1,0 +1,1 @@
+examples/compare_methods.ml: Array Bench_suite Csc Csc_direct Derive Dpll Either Mpart Printf Region_minimize Sequential_insertion Sg Sg_expand Sys

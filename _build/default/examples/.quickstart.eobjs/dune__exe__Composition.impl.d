@@ -1,0 +1,1 @@
+examples/composition.ml: Derive Format Invariants List Mpart Stg Stg_builder Stg_compose

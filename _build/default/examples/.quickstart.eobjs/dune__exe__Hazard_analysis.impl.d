@@ -1,0 +1,1 @@
+examples/hazard_analysis.ml: Array Bench_suite Cover Derive Format Hazard List Mpart Printf Sg Sys

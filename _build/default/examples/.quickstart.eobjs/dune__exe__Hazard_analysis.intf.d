@@ -1,0 +1,1 @@
+examples/hazard_analysis.mli:

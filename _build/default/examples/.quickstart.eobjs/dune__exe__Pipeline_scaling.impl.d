@@ -1,0 +1,1 @@
+examples/pipeline_scaling.ml: Bench_gen Csc Csc_direct List Mpart Printf Sg Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Csc Derive Format List Mpart Sg Stg Stg_builder

@@ -1,0 +1,1 @@
+examples/to_verilog.ml: Array Bench_suite List Mpart Netlist Persistency Printf Sg Stg Sys

@@ -1,0 +1,1 @@
+examples/to_verilog.mli:

@@ -1,0 +1,65 @@
+(* Reproduce one row of the paper's Table 1: run the same benchmark
+   through the three synthesis methods and compare state-signal counts,
+   final state counts, two-level area and CPU time.
+
+   Run with:  dune exec examples/compare_methods.exe -- [benchmark]
+   (default benchmark: mmu1; `dune exec bin/mpsyn.exe -- list` names) *)
+
+let row name signals states area time =
+  Printf.printf "  %-11s %8s %8s %8s %9s\n" name signals states area time
+
+let itoa = string_of_int
+let ftoa t = Printf.sprintf "%.3fs" t
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "mmu1" in
+  let entry = Bench_suite.find name in
+  let stg = entry.Bench_suite.build () in
+  let sg = Sg.of_stg stg in
+  Printf.printf "benchmark %s: %d states, %d signals, %d CSC conflict pairs\n\n"
+    name (Sg.n_states sg) (Sg.n_signals sg) (Csc.n_conflicts sg);
+  row "method" "signals" "states" "area" "time";
+
+  (* the paper's modular partitioning approach *)
+  let t0 = Sys.time () in
+  let r = Mpart.synthesize stg in
+  assert (Mpart.verify r = None);
+  row "modular"
+    (itoa (Mpart.final_signals r))
+    (itoa (Mpart.final_states r))
+    (itoa (Mpart.area_literals r))
+    (ftoa (Sys.time () -. t0));
+
+  (* Vanbekbergen-style direct SAT, with the paper's abort behaviour *)
+  let t0 = Sys.time () in
+  (match
+     (Csc_direct.solve ~backtrack_limit:2_000_000 ~time_limit:60.0 sg)
+       .Csc_direct.outcome
+   with
+  | Csc_direct.Solved solved ->
+    let ex = Sg_expand.expand (Region_minimize.minimize solved) in
+    let fs = Derive.synthesize ex in
+    row "direct"
+      (itoa (Sg.n_signals ex))
+      (itoa (Sg.n_states ex))
+      (itoa (Derive.total_literals fs))
+      (ftoa (Sys.time () -. t0))
+  | Csc_direct.Gave_up reason ->
+    row "direct" "-" "-" "-"
+      (match reason with
+      | Dpll.Backtrack_limit -> "abort(bt)"
+      | Dpll.Time_limit -> "abort(t)"));
+
+  (* Lavagno-style sequential insertion *)
+  let t0 = Sys.time () in
+  match
+    Sequential_insertion.synthesize ~backtrack_limit:2_000_000
+      ~time_limit:60.0 sg
+  with
+  | Either.Left (ex, fs, _) ->
+    row "sequential"
+      (itoa (Sg.n_signals ex))
+      (itoa (Sg.n_states ex))
+      (itoa (Derive.total_literals fs))
+      (ftoa (Sys.time () -. t0))
+  | Either.Right _ -> row "sequential" "-" "-" "-" "abort"

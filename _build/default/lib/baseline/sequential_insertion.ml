@@ -1,0 +1,104 @@
+type outcome = Solved of Sg.t | Gave_up of Dpll.abort_reason
+
+type report = {
+  outcome : outcome;
+  n_new : int;
+  rounds : int;
+  formulas : Csc_direct.formula_size list;
+  elapsed : float;
+}
+
+(* Pick the conflict pair to force this round: one from the largest
+   conflicting code class, so the densest ambiguity is attacked first. *)
+let pick_target sg =
+  let pairs = Csc.conflict_pairs sg in
+  match pairs with
+  | [] -> None
+  | _ ->
+    let class_of = Hashtbl.create 16 in
+    List.iter
+      (fun members ->
+        List.iter
+          (fun m -> Hashtbl.replace class_of m (List.length members))
+          members)
+      (Csc.code_classes sg);
+    let weight (m, _) =
+      Option.value (Hashtbl.find_opt class_of m) ~default:0
+    in
+    let best =
+      List.fold_left
+        (fun acc p -> match acc with
+          | None -> Some p
+          | Some q -> if weight p > weight q then Some p else Some q)
+        None pairs
+    in
+    best
+
+let solve ?backtrack_limit ?time_limit ?max_rounds ?(name_prefix = "seq") sg =
+  let t0 = Sys.time () in
+  let deadline = Option.map (fun l -> t0 +. l) time_limit in
+  let max_rounds =
+    match max_rounds with
+    | Some m -> m
+    | None -> 4 + (4 * max 1 (Csc.lower_bound sg))
+  in
+  let formulas = ref [] in
+  let finish outcome n_new rounds =
+    {
+      outcome;
+      n_new;
+      rounds;
+      formulas = List.rev !formulas;
+      elapsed = Sys.time () -. t0;
+    }
+  in
+  let rec round sg rounds =
+    match pick_target sg with
+    | None -> finish (Solved sg) rounds rounds
+    | Some _ when rounds >= max_rounds ->
+      finish (Gave_up Dpll.Time_limit) 0 rounds
+    | Some pair ->
+      (* one new signal per round; forcing just this pair keeps the
+         instance satisfiable with a single signal in practice, but fall
+         back to more signals when the structure demands it *)
+      let rec attempt n_new =
+        if n_new > 3 then None
+        else begin
+          let enc = Csc_encode.encode ~resolve:[ pair ] sg ~n_new in
+          formulas :=
+            {
+              Csc_direct.vars = Cnf.n_vars enc.Csc_encode.cnf;
+              clauses = Cnf.n_clauses enc.Csc_encode.cnf;
+            }
+            :: !formulas;
+          let time_limit =
+            match deadline with
+            | None -> None
+            | Some d -> Some (max 0.0 (d -. Sys.time ()))
+          in
+          match Dpll.solve ?backtrack_limit ?time_limit enc.Csc_encode.cnf with
+          | Dpll.Sat model, _ ->
+            let names =
+              Array.init n_new (fun k ->
+                  Printf.sprintf "%s%d" name_prefix (rounds + k))
+            in
+            Some (Ok (Csc_encode.apply sg enc model ~names, n_new))
+          | Dpll.Unsat, _ -> attempt (n_new + 1)
+          | Dpll.Aborted r, _ -> Some (Error r)
+        end
+      in
+      (match attempt 1 with
+      | None -> finish (Gave_up Dpll.Time_limit) 0 rounds
+      | Some (Error r) -> finish (Gave_up r) 0 rounds
+      | Some (Ok (sg', added)) -> round sg' (rounds + added))
+  in
+  round sg 0
+
+let synthesize ?backtrack_limit ?time_limit sg =
+  let r = solve ?backtrack_limit ?time_limit sg in
+  match r.outcome with
+  | Gave_up reason -> Either.Right reason
+  | Solved solved ->
+    let expanded = Sg_expand.expand solved in
+    let functions = Derive.synthesize expanded in
+    Either.Left (expanded, functions, r)

@@ -1,0 +1,1 @@
+lib/bdd/bdd_solver.ml: Array Bdd Cnf List

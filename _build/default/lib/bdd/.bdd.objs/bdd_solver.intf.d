@@ -1,0 +1,1 @@
+lib/bdd/bdd_solver.mli: Cnf

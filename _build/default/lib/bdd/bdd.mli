@@ -1,0 +1,78 @@
+(** Reduced ordered binary decision diagrams.
+
+    A small, self-contained ROBDD package with hash-consing and memoized
+    [ite], sufficient for the BDD-based constraint satisfaction backend
+    the paper points to as its follow-up ([19]: Puri & Gu, "A Divide and
+    Conquer Approach for Asynchronous Interface Synthesis", HLSS'94).
+
+    Variables are non-negative integers ordered by value (smaller = closer
+    to the root).  All nodes live in a {!manager}; nodes from different
+    managers must not be mixed (unchecked, like every classic package). *)
+
+type manager
+type node
+
+(** [manager ()] creates an empty manager. *)
+val manager : unit -> manager
+
+val bdd_true : node
+val bdd_false : node
+
+(** [of_bool b] is the corresponding constant. *)
+val of_bool : bool -> node
+
+(** [var mgr v] is the function "variable [v]"; [nvar mgr v] its
+    complement.  Raises [Invalid_argument] on a negative variable. *)
+val var : manager -> int -> node
+
+val nvar : manager -> int -> node
+
+(** Logical connectives. *)
+val ite : manager -> node -> node -> node -> node
+
+val not_ : manager -> node -> node
+val and_ : manager -> node -> node -> node
+val or_ : manager -> node -> node -> node
+val xor : manager -> node -> node -> node
+val imp : manager -> node -> node -> node
+
+(** [conj mgr ns] folds {!and_} over [ns] ([bdd_true] when empty);
+    [disj] dually. *)
+val conj : manager -> node list -> node
+
+val disj : manager -> node list -> node
+
+(** [restrict mgr n ~var ~value] is the cofactor of [n]. *)
+val restrict : manager -> node -> var:int -> value:bool -> node
+
+(** [exists mgr vars n] existentially quantifies [vars]. *)
+val exists : manager -> int list -> node -> node
+
+(** [is_true n] / [is_false n] test for the constants. *)
+val is_true : node -> bool
+
+val is_false : node -> bool
+
+(** [equal a b] is constant-time (hash-consing). *)
+val equal : node -> node -> bool
+
+(** [size n] counts the distinct internal nodes of [n]. *)
+val size : node -> int
+
+(** [n_nodes mgr] counts the nodes ever created in the manager. *)
+val n_nodes : manager -> int
+
+(** [any_sat n] returns a partial assignment — [(variable, value)] pairs,
+    increasing variable order — describing one satisfying path, choosing
+    the [false] branch whenever possible (the "all quiet" model that
+    gives state signals compact excitation regions).  [None] when [n] is
+    unsatisfiable.  Variables absent from the result are don't-care. *)
+val any_sat : node -> (int * bool) list option
+
+(** [sat_count ~n_vars n] counts models over [n_vars] variables
+    (float to tolerate > 2^62). *)
+val sat_count : n_vars:int -> node -> float
+
+(** [eval n assignment] evaluates [n] ([assignment.(v)] = value of [v];
+    indices past the array are [false]). *)
+val eval : node -> bool array -> bool

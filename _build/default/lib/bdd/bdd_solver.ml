@@ -1,0 +1,32 @@
+type result = Sat of bool array | Unsat | Blowup
+
+exception Too_big
+
+let solve ?(node_limit = 300_000) cnf =
+  if Cnf.has_empty_clause cnf then Unsat
+  else begin
+    let mgr = Bdd.manager () in
+    let clause_bdd clause =
+      Bdd.disj mgr
+        (List.map
+           (fun l -> if l > 0 then Bdd.var mgr l else Bdd.nvar mgr (-l))
+           (Array.to_list clause))
+    in
+    match
+      Array.fold_left
+        (fun acc clause ->
+          let acc = Bdd.and_ mgr acc (clause_bdd clause) in
+          if Bdd.n_nodes mgr > node_limit then raise Too_big;
+          acc)
+        Bdd.bdd_true (Cnf.clauses cnf)
+    with
+    | product -> (
+      match Bdd.any_sat product with
+      | None -> Unsat
+      | Some path ->
+        (* don't-care variables default to false: the quiet corner *)
+        let model = Array.make (Cnf.n_vars cnf + 1) false in
+        List.iter (fun (v, b) -> model.(v) <- b) path;
+        Sat model)
+    | exception Too_big -> Blowup
+  end

@@ -1,0 +1,20 @@
+(** Deciding CNF formulas symbolically — the BDD backend.
+
+    Conjoins the clause BDDs of a {!Cnf.t} and extracts a lexicographic
+    least-true model ([Bdd.any_sat] prefers the false branch), which for
+    the CSC encodings means "state signals stable at 0 wherever the
+    constraints allow" — the assignment shape that keeps excitation
+    regions compact.  This is the constraint-satisfaction engine of the
+    paper's follow-up [19].
+
+    BDDs can blow up; construction is abandoned past [node_limit] and the
+    caller falls back to the SAT solvers. *)
+
+type result =
+  | Sat of bool array  (** indexed by variable, index 0 unused *)
+  | Unsat
+  | Blowup  (** node limit exceeded; undecided *)
+
+(** [solve ?node_limit cnf] decides [cnf].
+    @param node_limit manager-size cap (default 300_000 nodes). *)
+val solve : ?node_limit:int -> Cnf.t -> result

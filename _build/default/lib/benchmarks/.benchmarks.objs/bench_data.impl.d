@@ -1,0 +1,1 @@
+lib/benchmarks/bench_data.ml: Gformat Stg Stg_builder

@@ -1,0 +1,1 @@
+lib/benchmarks/bench_gen.ml: Fun List Printf Stg_builder

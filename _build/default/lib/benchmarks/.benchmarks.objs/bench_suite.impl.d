@@ -1,0 +1,1 @@
+lib/benchmarks/bench_suite.ml: Bench_data List Sg Stg

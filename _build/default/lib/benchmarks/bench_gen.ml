@@ -1,0 +1,44 @@
+open Stg_builder
+
+(* A four-phase pulse whose return-to-zero reuses the request code: the
+   states before req+ and after ack- share a code with different
+   excitation, so every instance contributes CSC conflicts. *)
+let pulse req ack = seq [ plus req; plus ack; minus ack; minus req ]
+
+let pipeline ~stages =
+  if stages < 1 then invalid_arg "Bench_gen.pipeline";
+  let stage i = pulse (Printf.sprintf "r%d" i) (Printf.sprintf "a%d" i) in
+  let proc = seq (List.init stages stage) in
+  let inputs = List.init stages (Printf.sprintf "r%d") in
+  let outputs = List.init stages (Printf.sprintf "a%d") in
+  compile ~name:(Printf.sprintf "pipeline%d" stages) ~inputs ~outputs proc
+
+let concurrent_pulsers ~branches =
+  if branches < 1 || branches > 8 then
+    invalid_arg "Bench_gen.concurrent_pulsers";
+  let branch i = pulse (Printf.sprintf "r%d" i) (Printf.sprintf "a%d" i) in
+  let proc =
+    seq [ plus "go"; par (List.init branches branch); minus "go" ]
+  in
+  let inputs = "go" :: List.init branches (Printf.sprintf "r%d") in
+  let outputs = List.init branches (Printf.sprintf "a%d") in
+  compile ~name:(Printf.sprintf "pulsers%d" branches) ~inputs ~outputs proc
+
+let mixed ~stages ~branches =
+  if stages < 1 || branches < 1 || branches > 8 then
+    invalid_arg "Bench_gen.mixed";
+  let section s =
+    let branch b =
+      pulse (Printf.sprintf "r%d_%d" s b) (Printf.sprintf "a%d_%d" s b)
+    in
+    par (List.init branches branch)
+  in
+  let proc = seq (List.init stages section) in
+  let names f =
+    List.concat_map
+      (fun s -> List.init branches (fun b -> Printf.sprintf "%s%d_%d" f s b))
+      (List.init stages Fun.id)
+  in
+  compile
+    ~name:(Printf.sprintf "mixed%dx%d" stages branches)
+    ~inputs:(names "r") ~outputs:(names "a") proc

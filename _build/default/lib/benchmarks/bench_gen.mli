@@ -1,0 +1,25 @@
+(** Parameterized STG families for scaling experiments.
+
+    The paper's headline claim is that modular partitioning scales to
+    state graphs that defeat direct SAT synthesis.  These generators
+    produce arbitrarily large, live, safe, consistent STGs with genuine
+    CSC conflicts:
+
+    - {!pipeline}: a chain of request/acknowledge stages where each stage
+      contains a conflict-producing pulse — states grow linearly;
+    - {!concurrent_pulsers}: fork/join over [k] pulse branches — states
+      grow as roughly [5^k];
+    - {!mixed}: [stages] sequential sections, each forking into
+      [branches] concurrent pulsers — the knob used for the scaling
+      figure. *)
+
+(** [pipeline ~stages] builds a [4×stages]-state controller;
+    [stages ≥ 1]. *)
+val pipeline : stages:int -> Stg.t
+
+(** [concurrent_pulsers ~branches] forks into [branches] concurrent
+    request pulses; [1 ≤ branches ≤ 8]. *)
+val concurrent_pulsers : branches:int -> Stg.t
+
+(** [mixed ~stages ~branches] chains [stages] concurrent sections. *)
+val mixed : stages:int -> branches:int -> Stg.t

@@ -1,0 +1,37 @@
+(** The benchmark registry: reconstructed STGs paired with the numbers
+    published in Table 1 of the paper, for paper-vs-measured reporting. *)
+
+(** What Table 1 reports for one method on one benchmark. *)
+type paper_method =
+  | Solved of { states : int option; signals : int; area : int; time : float }
+  | Abort of float option
+      (** "SAT Backtrack Limit" rows; the time at abort when printed *)
+  | Error  (** "Internal State Error" / "Non-Free-Choice STG" rows *)
+
+type paper_row = {
+  initial_states : int;
+  initial_signals : int;
+  ours : paper_method;  (** the paper's modular method *)
+  vanbekbergen : paper_method;
+  lavagno : paper_method;
+}
+
+type entry = {
+  name : string;
+  build : unit -> Stg.t;
+  paper : paper_row;
+}
+
+(** All 23 benchmarks, largest first (Table 1 order). *)
+val all : entry list
+
+(** [find name] returns the entry or raises [Not_found]. *)
+val find : string -> entry
+
+(** [names] in Table 1 order. *)
+val names : string list
+
+(** [small] lists the benchmarks whose reconstruction has at most
+    [threshold] states (default 120) — the set on which the direct
+    method still terminates quickly. *)
+val small : ?threshold:int -> unit -> entry list

@@ -1,0 +1,1 @@
+lib/core/input_derivation.ml: Array Csc Format Hashtbl Int List Option Printf Sg String

@@ -1,0 +1,1 @@
+lib/core/input_derivation.mli: Format Sg

@@ -1,0 +1,1 @@
+lib/core/modular_sat.ml: Array Bdd_solver Cnf Csc Csc_direct Csc_encode Dpll List Option Printf Region_minimize Sg Sys Walksat

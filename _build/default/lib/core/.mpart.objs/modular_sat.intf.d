@@ -1,0 +1,1 @@
+lib/core/modular_sat.mli: Csc_direct Dpll Sg

@@ -1,0 +1,1 @@
+lib/core/mpart.ml: Array Csc Csc_direct Derive Dpll Format Fun Hashtbl Hazard Input_derivation Int List Logs Modular_sat Printf Propagation Region_minimize Sg Sg_expand String Sys

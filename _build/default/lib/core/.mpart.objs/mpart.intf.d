@@ -1,0 +1,1 @@
+lib/core/mpart.mli: Csc_direct Derive Format Sg Stg

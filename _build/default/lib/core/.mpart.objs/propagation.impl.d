@@ -1,0 +1,1 @@
+lib/core/propagation.ml: Array Sg

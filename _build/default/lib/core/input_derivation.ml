@@ -1,0 +1,129 @@
+type t = {
+  output : int;
+  input_set : int list;
+  immediate : int list;
+  kept_extras : string list;
+  module_sg : Sg.t;
+  cover : int array;
+}
+
+let triggers sg ~output =
+  (* s triggers o when firing s enables a transition of o: o is excited
+     after the s edge but was not before.  Concurrent signals whose firing
+     merely interleaves with o's excitation do not qualify — this is the
+     state-graph image of a direct causal STG arc. *)
+  let excited m =
+    List.exists (fun (s, _) -> s = output) (Sg.excited_events sg m)
+  in
+  let acc = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      match e.Sg.label with
+      | Sg.Ev (s, _) when s <> output ->
+        if excited e.Sg.dst && not (excited e.Sg.src) then
+          Hashtbl.replace acc s ()
+      | Sg.Ev _ | Sg.Eps -> ())
+    (Sg.edges sg);
+  List.sort Int.compare (Hashtbl.fold (fun s () l -> s :: l) acc [])
+
+(* Quotient of the complete graph that keeps everything except the given
+   hidden base signals and dropped extras. *)
+let view sg ~hidden ~dropped =
+  Sg.quotient sg
+    ~keep_signal:(fun s -> not (Hashtbl.mem hidden s))
+    ~keep_extra:(fun x -> not (Hashtbl.mem dropped x))
+
+(* A merge class mixing both implied values of [output] would make the
+   output's logic ill-defined over the module, and would hide a conflict
+   this module is responsible for.  Such a hide must be rejected. *)
+let homogeneous sg ~output ~cover ~n_classes =
+  let seen = Array.make n_classes 0 in
+  (* 0 unknown, 1 implied-false, 2 implied-true *)
+  let ok = ref true in
+  for m = 0 to Sg.n_states sg - 1 do
+    let v = if Sg.implied_value sg m output then 2 else 1 in
+    let c = cover.(m) in
+    if seen.(c) = 0 then seen.(c) <- v else if seen.(c) <> v then ok := false
+  done;
+  !ok
+
+let determine sg ~output =
+  let immediate = triggers sg ~output in
+  let hidden : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let dropped : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let current = ref (Option.get (view sg ~hidden ~dropped)) in
+  let module_conflicts (msg, cover) =
+    ignore cover;
+    Csc.n_output_conflict_classes msg
+      ~output:(Sg.find_signal msg (Sg.signal_name sg output))
+  in
+  let n_csc = ref (module_conflicts !current) in
+  (* State signals first: an inserted signal that is irrelevant to this
+     output would otherwise block the ε-merging of the region it toggles
+     in (its rise and fall would land in one class), inflating the
+     module.  Dropping is safe whenever this output's conflicts do not
+     increase. *)
+  let kept_extras = ref [] in
+  Array.iter
+    (fun (x : Sg.extra) ->
+      Hashtbl.add dropped x.Sg.xname ();
+      let keep () =
+        Hashtbl.remove dropped x.Sg.xname;
+        kept_extras := x.Sg.xname :: !kept_extras
+      in
+      match view sg ~hidden ~dropped with
+      | None -> keep ()
+      | Some (sg', cover') ->
+        let n' = module_conflicts (sg', cover') in
+        if n' > !n_csc then keep ()
+        else begin
+          n_csc := n';
+          current := (sg', cover')
+        end)
+    (Sg.extras sg);
+  let input_set = ref [] in
+  for s = 0 to Sg.n_signals sg - 1 do
+    if s <> output then
+      if List.mem s immediate then input_set := s :: !input_set
+      else begin
+        Hashtbl.add hidden s ();
+        let reject () =
+          Hashtbl.remove hidden s;
+          input_set := s :: !input_set
+        in
+        match view sg ~hidden ~dropped with
+        | None -> reject () (* a state signal would lose its representation *)
+        | Some (sg', cover') ->
+          if not (homogeneous sg ~output ~cover:cover' ~n_classes:(Sg.n_states sg'))
+          then reject ()
+          else begin
+            let n' = module_conflicts (sg', cover') in
+            if n' <= !n_csc then begin
+              n_csc := n';
+              current := (sg', cover')
+            end
+            else reject ()
+          end
+      end
+  done;
+  let module_sg, cover = !current in
+  {
+    output;
+    input_set = List.sort Int.compare !input_set;
+    immediate;
+    kept_extras = List.rev !kept_extras;
+    module_sg;
+    cover;
+  }
+
+let pp sg ppf t =
+  let out_name = Sg.signal_name sg t.output in
+  Format.fprintf ppf "module for %s: inputs {%s}%s, %d states, %d conflicts"
+    out_name
+    (String.concat ", " (List.map (Sg.signal_name sg) t.input_set))
+    (match t.kept_extras with
+    | [] -> ""
+    | xs -> Printf.sprintf " + state signals {%s}" (String.concat ", " xs))
+    (Sg.n_states t.module_sg)
+    (Csc.n_output_conflicts t.module_sg
+       ~output:(Sg.find_signal t.module_sg out_name))

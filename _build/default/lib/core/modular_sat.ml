@@ -1,0 +1,135 @@
+type outcome =
+  | Solved of { module_sg : Sg.t; new_extras : Sg.extra array }
+  | Gave_up of Dpll.abort_reason
+
+type report = {
+  outcome : outcome;
+  formulas : Csc_direct.formula_size list;
+  solver_stats : Dpll.stats list;
+  elapsed : float;
+}
+
+(* Hybrid SAT strategy.  WalkSAT first (the authors' own SAT line of
+   work): started from the all-false corner it repairs its way to a model
+   that keeps state signals quiet wherever the constraints allow, which
+   empirically yields the tightest excitation regions and the smallest
+   covers.  DPLL is the unsatisfiability prover; an inconclusive capped
+   run escalates to one more state signal — always sound (extra signals
+   never hurt correctness, only optimality), and the signal bound keeps
+   the loop terminating. *)
+
+let quick_backtrack_cap = 50_000
+
+let walksat_model cnf =
+  fst
+    (Walksat.solve ~seed:1 ~init:`False
+       ~max_flips:(20_000 + (200 * Cnf.n_vars cnf))
+       ~max_tries:3 cnf)
+
+let solve_pairs ?backtrack_limit ?time_limit ?(max_new = 6)
+    ?(backend = `Sat) ?(normalize = true) ~resolve sg =
+  let t0 = Sys.time () in
+  let deadline = Option.map (fun l -> t0 +. l) time_limit in
+  let remaining () =
+    match deadline with
+    | None -> None
+    | Some d -> Some (max 0.0 (d -. Sys.time ()))
+  in
+  let formulas = ref [] and stats = ref [] in
+  let finish outcome =
+    {
+      outcome;
+      formulas = List.rev !formulas;
+      solver_stats = List.rev !stats;
+      elapsed = Sys.time () -. t0;
+    }
+  in
+  if resolve = [] then finish (Solved { module_sg = sg; new_extras = [||] })
+  else begin
+    let n_before = Sg.n_extras sg in
+    (* Apply a model, then normalize: shrink each new signal's excitation
+       region while the module is still small — solver models are correct
+       but arbitrarily shaped, and this is where shape is cheapest to
+       repair. *)
+    let realize enc model =
+      let names = Array.init enc.Csc_encode.n_new (Printf.sprintf "__m%d") in
+      let solved = ref (Csc_encode.apply sg enc model ~names) in
+      if normalize then
+        for index = n_before to Sg.n_extras !solved - 1 do
+          solved := Region_minimize.minimize_extra !solved ~index
+        done;
+      !solved
+    in
+    (* Per signal count, the strict encoding is tried before the loose
+       one: strict models keep state signals stable wherever possible
+       (clean regions, small covers), while the loose relaxation saves
+       signals on modules where strict separation is infeasible. *)
+    let rec attempt n_new mode =
+      if n_new > max_new then finish (Gave_up Dpll.Time_limit)
+      else begin
+        let enc = Csc_encode.encode ~resolve ~mode sg ~n_new in
+        let cnf = enc.Csc_encode.cnf in
+        formulas :=
+          { Csc_direct.vars = Cnf.n_vars cnf; clauses = Cnf.n_clauses cnf }
+          :: !formulas;
+        let use model =
+          let solved = realize enc model in
+          let new_extras =
+            Array.sub (Sg.extras solved) n_before
+              (Sg.n_extras solved - n_before)
+          in
+          finish (Solved { module_sg = solved; new_extras })
+        in
+        let next () =
+          match mode with
+          | `Strict -> attempt n_new `Loose
+          | `Loose -> attempt (n_new + 1) `Strict
+        in
+        let bdd_result =
+          match backend with
+          | `Sat -> Bdd_solver.Blowup (* skip: decide with the SAT stack *)
+          | `Bdd -> Bdd_solver.solve cnf
+        in
+        match bdd_result with
+        | Bdd_solver.Sat model -> use model
+        | Bdd_solver.Unsat -> next ()
+        | Bdd_solver.Blowup -> (
+        match walksat_model cnf with
+        | Some model -> use model
+        | None -> (
+          let quick, st =
+            Dpll.solve ~backtrack_limit:quick_backtrack_cap
+              ?time_limit:(remaining ()) cnf
+          in
+          stats := st :: !stats;
+          match quick with
+          | Dpll.Sat model -> use model
+          | Dpll.Unsat -> next ()
+          | Dpll.Aborted Dpll.Time_limit -> finish (Gave_up Dpll.Time_limit)
+          | Dpll.Aborted Dpll.Backtrack_limit -> (
+            let cap =
+              max quick_backtrack_cap
+                (Option.value backtrack_limit ~default:500_000)
+            in
+            let result, st =
+              Dpll.solve ~backtrack_limit:cap ?time_limit:(remaining ()) cnf
+            in
+            stats := st :: !stats;
+            match result with
+            | Dpll.Sat model -> use model
+            | Dpll.Unsat | Dpll.Aborted Dpll.Backtrack_limit -> next ()
+            | Dpll.Aborted Dpll.Time_limit -> finish (Gave_up Dpll.Time_limit))))
+      end
+    in
+    attempt 1 `Strict
+  end
+
+let solve ?backtrack_limit ?time_limit ?max_new ?backend ?normalize ~output
+    module_sg =
+  let resolve =
+    List.sort_uniq compare
+      (Csc.output_conflict_pairs module_sg ~output
+      @ Csc.orphan_conflict_pairs module_sg)
+  in
+  solve_pairs ?backtrack_limit ?time_limit ?max_new ?backend ?normalize
+    ~resolve module_sg

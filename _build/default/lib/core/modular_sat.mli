@@ -1,0 +1,66 @@
+(** Constraint satisfaction on a modular state graph — algorithm
+    [partition_sat] of the paper (Figure 4).
+
+    The SAT formula derived from the modular graph must resolve the
+    conflicts of the module's own output (equal-code pairs with different
+    implied value); other equal-code pairs may alternatively receive
+    identical values, leaving them to their own modules.  New state
+    signals are added one at a time while the formula is unsatisfiable,
+    starting from one (a single signal always suffices {e count}-wise,
+    since a class splits into just two implied-value sides; consistency
+    around cycles occasionally demands more). *)
+
+type outcome =
+  | Solved of { module_sg : Sg.t; new_extras : Sg.extra array }
+  | Gave_up of Dpll.abort_reason
+
+type report = {
+  outcome : outcome;
+  formulas : Csc_direct.formula_size list;
+  solver_stats : Dpll.stats list;
+  elapsed : float;
+}
+
+(** [solve ?backtrack_limit ?time_limit ?max_new ~output module_sg]
+    resolves [output]'s conflicts — and any {!Csc.orphan_conflict_pairs}
+    the module can see — in [module_sg].  [output] is a signal id of
+    [module_sg].  New extras are named ["__m0"], ["__m1"], …; the caller
+    renames them during propagation.
+
+    Solving is hybrid: WalkSAT first (instantaneous on the satisfiable
+    instances that dominate this flow), then DPLL under a backtrack cap
+    as the unsatisfiability prover; an inconclusive capped run escalates
+    to one more state signal, which is always sound.
+    @param max_new maximum state signals to try (default 6).
+    @param backend [`Sat] (default) decides with WalkSAT + DPLL; [`Bdd]
+           tries the symbolic engine of {!Bdd_solver} first — the
+           paper's follow-up [19] — falling back to the SAT stack when
+           the BDD blows up. *)
+val solve :
+  ?backtrack_limit:int ->
+  ?time_limit:float ->
+  ?max_new:int ->
+  ?backend:[ `Sat | `Bdd ] ->
+  ?normalize:bool ->
+  output:int ->
+  Sg.t ->
+  report
+
+(** [solve_pairs ?backtrack_limit ?time_limit ?max_new ~resolve sg]
+    is the underlying engine: distinguish exactly the pairs in [resolve]
+    (other equal-code pairs may stay together with identical values).
+    Used by the driver's global cleanup pass.
+
+    [normalize] (default true) shrinks each new signal's excitation
+    region at the module level before returning; disabling it leaves the
+    raw solver regions, which occasionally cascade into better global
+    results — the portfolio driver exploits exactly that. *)
+val solve_pairs :
+  ?backtrack_limit:int ->
+  ?time_limit:float ->
+  ?max_new:int ->
+  ?backend:[ `Sat | `Bdd ] ->
+  ?normalize:bool ->
+  resolve:(int * int) list ->
+  Sg.t ->
+  report

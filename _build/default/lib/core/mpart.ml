@@ -1,0 +1,341 @@
+let src = Logs.Src.create "mpsyn.mpart" ~doc:"modular partitioning synthesis"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  backtrack_limit : int option;
+  time_limit : float option;
+  max_states : int;
+  hazard_free : bool;
+  backend : [ `Sat | `Bdd ];
+  normalize_modules : bool;
+  exact_covers : bool;
+}
+
+let default_config =
+  {
+    backtrack_limit = None;
+    time_limit = None;
+    max_states = 200_000;
+    hazard_free = false;
+    backend = `Sat;
+    normalize_modules = true;
+    exact_covers = false;
+  }
+
+type formula_size = Csc_direct.formula_size = { vars : int; clauses : int }
+
+type module_report = {
+  output_name : string;
+  input_set : string list;
+  immediate : string list;
+  kept_extras : string list;
+  module_states : int;
+  module_edges : int;
+  module_conflicts : int;
+  new_signals : string list;
+  formulas : formula_size list;
+  sat_elapsed : float;
+}
+
+type result = {
+  complete : Sg.t;
+  final : Sg.t;
+  expanded : Sg.t;
+  functions : Derive.func list;
+  modules : module_report list;
+  fallback : module_report option;
+  elapsed : float;
+}
+
+exception Synthesis_failed of string
+
+(* Solve one modular graph and propagate the new signals back.  Returns
+   the updated complete graph, the new signal names, and SAT metrics. *)
+let solve_module ~config ~fresh_name complete (inp : Input_derivation.t) =
+  let module_sg = inp.Input_derivation.module_sg in
+  let module_output =
+    Sg.find_signal module_sg
+      (Sg.signal_name complete inp.Input_derivation.output)
+  in
+  let report =
+    Modular_sat.solve ?backtrack_limit:config.backtrack_limit
+      ?time_limit:config.time_limit ~backend:config.backend
+      ~normalize:config.normalize_modules ~output:module_output module_sg
+  in
+  match report.Modular_sat.outcome with
+  | Modular_sat.Gave_up reason ->
+    raise
+      (Synthesis_failed
+         (Printf.sprintf "module %s: SAT %s"
+            (Sg.signal_name complete inp.Input_derivation.output)
+            (match reason with
+            | Dpll.Backtrack_limit -> "backtrack limit exceeded"
+            | Dpll.Time_limit -> "time limit exceeded")))
+  | Modular_sat.Solved { new_extras; _ } ->
+    let complete = ref complete in
+    let names = ref [] in
+    Array.iter
+      (fun (x : Sg.extra) ->
+        let name = fresh_name () in
+        names := name :: !names;
+        complete :=
+          Propagation.propagate !complete ~cover:inp.Input_derivation.cover
+            ~name ~values:x.Sg.values)
+      new_extras;
+    (!complete, List.rev !names, report)
+
+let module_report complete (inp : Input_derivation.t)
+    (sat : Modular_sat.report option) ~new_signals =
+  {
+    output_name = Sg.signal_name complete inp.Input_derivation.output;
+    input_set = List.map (Sg.signal_name complete) inp.Input_derivation.input_set;
+    immediate = List.map (Sg.signal_name complete) inp.Input_derivation.immediate;
+    kept_extras = inp.Input_derivation.kept_extras;
+    module_states = Sg.n_states inp.Input_derivation.module_sg;
+    module_edges = Sg.n_edges inp.Input_derivation.module_sg;
+    module_conflicts =
+      Csc.n_output_conflicts inp.Input_derivation.module_sg
+        ~output:
+          (Sg.find_signal inp.Input_derivation.module_sg
+             (Sg.signal_name complete inp.Input_derivation.output));
+    new_signals;
+    formulas = (match sat with None -> [] | Some r -> r.Modular_sat.formulas);
+    sat_elapsed =
+      (match sat with None -> 0.0 | Some r -> r.Modular_sat.elapsed);
+  }
+
+let synthesize_sg ?(config = default_config) complete =
+  let t0 = Sys.time () in
+  let counter = ref 0 in
+  let fresh_name () =
+    let n = Printf.sprintf "n%d" !counter in
+    incr counter;
+    n
+  in
+  let outputs =
+    List.filter (Sg.non_input complete) (List.init (Sg.n_signals complete) Fun.id)
+  in
+  let current = ref complete in
+  let reports = ref [] in
+  (* Per-output support for logic derivation, in complete-graph signal
+     names (resolved to expanded ids later). *)
+  let supports : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun o ->
+      Log.debug (fun m ->
+          m "deriving module for output %s" (Sg.signal_name complete o));
+      let inp = Input_derivation.determine !current ~output:o in
+      Log.debug (fun m ->
+          m "module %s: %d states, solving"
+            (Sg.signal_name complete o)
+            (Sg.n_states inp.Input_derivation.module_sg));
+      let conflicts =
+        Csc.n_output_conflicts inp.Input_derivation.module_sg
+          ~output:
+            (Sg.find_signal inp.Input_derivation.module_sg
+               (Sg.signal_name !current o))
+      in
+      let updated, new_signals, sat =
+        if conflicts = 0 then (!current, [], None)
+        else begin
+          let c, names, r = solve_module ~config ~fresh_name !current inp in
+          (c, names, Some r)
+        end
+      in
+      current := updated;
+      Hashtbl.replace supports
+        (Sg.signal_name complete o)
+        (List.map (Sg.signal_name complete) inp.Input_derivation.input_set
+        @ inp.Input_derivation.kept_extras @ new_signals);
+      reports := module_report !current inp sat ~new_signals :: !reports)
+    outputs;
+  (* Fallback: conflicts invisible to every module. *)
+  let fallback = ref None in
+  Log.debug (fun m ->
+      m "modules done: %d conflicts remain" (Csc.n_conflicts !current));
+  if not (Csc.csc_satisfied !current) then begin
+    let remaining = Csc.conflict_pairs !current in
+    let r =
+      Modular_sat.solve_pairs ?backtrack_limit:config.backtrack_limit
+        ?time_limit:config.time_limit ~backend:config.backend
+        ~resolve:remaining !current
+    in
+    match r.Modular_sat.outcome with
+    | Modular_sat.Gave_up _ ->
+      raise (Synthesis_failed "global cleanup pass exhausted its SAT budget")
+    | Modular_sat.Solved { new_extras; _ } ->
+      let acc = ref !current in
+      let names = ref [] in
+      Array.iter
+        (fun (x : Sg.extra) ->
+          let name = fresh_name () in
+          names := name :: !names;
+          acc := Sg.add_extra !acc ~name ~values:x.Sg.values)
+        new_extras;
+      current := !acc;
+      fallback :=
+        Some
+          {
+            output_name = "<global>";
+            input_set = [];
+            immediate = [];
+            kept_extras = [];
+            module_states = Sg.n_states !current;
+            module_edges = Sg.n_edges !current;
+            module_conflicts = List.length remaining;
+            new_signals = List.rev !names;
+            formulas = r.Modular_sat.formulas;
+            sat_elapsed = r.Modular_sat.elapsed;
+          }
+  end;
+  (* All conflicts are resolved; serialize the inserted transitions so
+     that expansion splits as few states as possible.  Minimization and
+     expansion both have a known blind spot: a same-base-code pair can
+     end up valued (Up, Dn) — distinguished before expansion, colliding
+     after it (the strict-0/1 rule of the encoding exists precisely
+     because excited values do not survive expansion).  So we check the
+     expanded graph, fall back to the unminimized assignment when
+     minimization caused the collision, and repair any remaining
+     expansion-born conflicts with bounded direct passes. *)
+  Log.debug (fun m -> m "minimizing excitation regions");
+  let minimize_safely sg0 =
+    (* one extra at a time, keeping a minimization only when the expanded
+       graph still satisfies CSC *)
+    let acc = ref sg0 in
+    for index = 0 to Sg.n_extras sg0 - 1 do
+      let candidate = Region_minimize.minimize_extra !acc ~index in
+      if Csc.csc_satisfied (Sg_expand.expand candidate) then acc := candidate
+    done;
+    !acc
+  in
+  let final =
+    if Csc.csc_satisfied (Sg_expand.expand !current) then
+      minimize_safely !current
+    else !current
+  in
+  let rec repair expanded round =
+    Log.debug (fun m ->
+        m "expansion round %d: %d states, %d conflicts" round
+          (Sg.n_states expanded) (Csc.n_conflicts expanded));
+    if Csc.csc_satisfied expanded then expanded
+    else if round > 4 then
+      raise (Synthesis_failed "expansion repair did not converge")
+    else begin
+      let r =
+        Modular_sat.solve_pairs ?backtrack_limit:config.backtrack_limit
+          ?time_limit:config.time_limit ~backend:config.backend
+          ~resolve:(Csc.conflict_pairs expanded) expanded
+      in
+      match r.Modular_sat.outcome with
+      | Modular_sat.Gave_up _ ->
+        raise (Synthesis_failed "expansion repair exhausted its SAT budget")
+      | Modular_sat.Solved { new_extras; _ } ->
+        let acc = ref expanded in
+        Array.iter
+          (fun (x : Sg.extra) ->
+            acc := Sg.add_extra !acc ~name:(fresh_name ()) ~values:x.Sg.values)
+          new_extras;
+        let solved = !acc in
+        let solved' =
+          let m = Region_minimize.minimize solved in
+          if Csc.csc_satisfied (Sg_expand.expand m) then m else solved
+        in
+        repair (Sg_expand.expand solved') (round + 1)
+    end
+  in
+  let expanded = repair (Sg_expand.expand final) 0 in
+  (* Logic derivation: outputs over their module supports; inserted state
+     signals over a greedily reduced support. *)
+  let support_of s =
+    let name = Sg.signal_name expanded s in
+    match Hashtbl.find_opt supports name with
+    | None -> None
+    | Some names ->
+      Some
+        (List.sort_uniq Int.compare
+           (List.filter_map
+              (fun n ->
+                match Sg.find_signal expanded n with
+                | id -> Some id
+                | exception Not_found -> None)
+              names))
+  in
+  let minimizer = if config.exact_covers then `Exact else `Heuristic in
+  let functions = Derive.synthesize ~minimizer ~support_of expanded in
+  let functions =
+    if config.hazard_free then
+      List.map (Hazard.hazard_free_enlargement expanded) functions
+    else functions
+  in
+  {
+    complete;
+    final;
+    expanded;
+    functions;
+    modules = List.rev !reports;
+    fallback = !fallback;
+    elapsed = Sys.time () -. t0;
+  }
+
+let synthesize ?(config = default_config) stg =
+  let complete = Sg.of_stg ~max_states:config.max_states stg in
+  synthesize_sg ~config complete
+
+let synthesize_best ?(config = default_config) stg =
+  let complete = Sg.of_stg ~max_states:config.max_states stg in
+  let area r = Derive.total_literals r.functions in
+  let candidates =
+    List.filter_map
+      (fun normalize_modules ->
+        match
+          synthesize_sg ~config:{ config with normalize_modules } complete
+        with
+        | r -> Some r
+        | exception Synthesis_failed _ -> None)
+      [ true; false ]
+  in
+  match candidates with
+  | [] -> raise (Synthesis_failed "no portfolio configuration succeeded")
+  | first :: rest ->
+    List.fold_left
+      (fun best r -> if area r < area best then r else best)
+      first rest
+
+let initial_states r = Sg.n_states r.complete
+let initial_signals r = Sg.n_signals r.complete
+let final_states r = Sg.n_states r.expanded
+let final_signals r = Sg.n_signals r.expanded
+let area_literals r = Derive.total_literals r.functions
+let n_state_signals r = final_signals r - initial_signals r
+
+let verify r =
+  if not (Csc.csc_satisfied r.expanded) then
+    Some "expanded state graph violates CSC"
+  else
+    match Derive.check r.functions r.expanded with
+    | [] -> None
+    | (name, m) :: _ ->
+      Some (Printf.sprintf "function %s disagrees with state %d" name m)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>modular synthesis: %d -> %d states, %d -> %d signals, %d literals, %.3fs@,"
+    (initial_states r) (final_states r) (initial_signals r) (final_signals r)
+    (area_literals r) r.elapsed;
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "  %s: |Is|=%d, %d module states, %d conflicts%s@,"
+        m.output_name
+        (List.length m.input_set)
+        m.module_states m.module_conflicts
+        (match m.new_signals with
+        | [] -> ""
+        | ns -> Printf.sprintf ", new {%s}" (String.concat "," ns)))
+    r.modules;
+  (match r.fallback with
+  | None -> ()
+  | Some f ->
+    Format.fprintf ppf "  global fallback: new {%s}@,"
+      (String.concat "," f.new_signals));
+  Format.fprintf ppf "@]"

@@ -1,0 +1,105 @@
+(** Modular partitioning synthesis of asynchronous circuits — the paper's
+    contribution, algorithm [modular_synthesis] (Figure 6).
+
+    For every output signal of the STG:
+    + derive its input signal set and modular state graph
+      ({!Input_derivation}, Figure 2);
+    + resolve the modular graph's CSC conflicts with a small SAT formula,
+      adding state signals as needed (Figure 4, via {!Csc_direct} on the
+      modular graph);
+    + propagate the new assignments to the complete state graph
+      ({!Propagation}, Figure 5).
+
+    When all modules are done, any conflicts the modules could not see
+    (pairs merged inside every module) are resolved by a final bounded
+    direct pass — the paper relies on this never happening in practice
+    ("in the worst case, all the CSC conflicts … will be removed after
+    all the modular state graphs … are derived"); the fallback keeps the
+    implementation total.  The complete graph is then expanded
+    ({!Sg_expand}) and each output's logic is minimized over its module's
+    support ({!Derive}). *)
+
+type config = {
+  backtrack_limit : int option;  (** per SAT call *)
+  time_limit : float option;  (** seconds, for the whole run *)
+  max_states : int;  (** reachability cap *)
+  hazard_free : bool;  (** enlarge covers to kill static-1 hazards *)
+  backend : [ `Sat | `Bdd ];
+      (** constraint engine: WalkSAT+DPLL, or BDD-first (paper [19]) *)
+  normalize_modules : bool;
+      (** shrink excitation regions at the module level (default true);
+          {!synthesize_best} tries both settings *)
+  exact_covers : bool;
+      (** minimize covers with {!Exact} instead of {!Espresso}
+          (default false; exact falls back to the heuristic on caps) *)
+}
+
+val default_config : config
+
+type formula_size = Csc_direct.formula_size = { vars : int; clauses : int }
+
+(** Per-output record of what the partitioning did. *)
+type module_report = {
+  output_name : string;
+  input_set : string list;
+  immediate : string list;
+  kept_extras : string list;
+  module_states : int;
+  module_edges : int;
+  module_conflicts : int;
+  new_signals : string list;
+  formulas : formula_size list;
+  sat_elapsed : float;
+}
+
+type result = {
+  complete : Sg.t;  (** the initial complete state graph Σ *)
+  final : Sg.t;  (** Σ with all inserted state signals (extras) *)
+  expanded : Sg.t;  (** state-signal transitions inserted *)
+  functions : Derive.func list;
+  modules : module_report list;
+  fallback : module_report option;
+      (** the final direct pass, when modules left conflicts behind *)
+  elapsed : float;
+}
+
+exception Synthesis_failed of string
+(** Raised when a SAT budget is exhausted before CSC is satisfied. *)
+
+(** [synthesize ?config stg] runs the full modular flow.
+    @raise Synthesis_failed on exhausted budgets
+    @raise Sg.Inconsistent if the STG has no consistent assignment *)
+val synthesize : ?config:config -> Stg.t -> result
+
+(** [synthesize_sg ?config ~name sg] is the same flow starting from an
+    already-derived complete state graph (used by baselines and tests). *)
+val synthesize_sg : ?config:config -> Sg.t -> result
+
+(** [synthesize_best ?config stg] runs a small configuration portfolio
+    (module normalization on and off — the greedy pipeline is chaotic
+    enough that either can win) and returns the verified result with the
+    smallest two-level area.  Costs at most twice {!synthesize}, which
+    the method's speed advantage dwarfs. *)
+val synthesize_best : ?config:config -> Stg.t -> result
+
+(** {1 Result accessors (Table 1 columns)} *)
+
+val initial_states : result -> int
+val initial_signals : result -> int
+val final_states : result -> int
+val final_signals : result -> int
+
+(** [area_literals r] is the two-level area: total literals of all
+    non-input covers. *)
+val area_literals : result -> int
+
+(** [n_state_signals r] counts inserted state signals. *)
+val n_state_signals : result -> int
+
+(** [verify r] re-checks the implementation: CSC satisfied in the
+    expanded graph and every cover matching the implied next-state value
+    in every reachable state.  Returns an error description, or [None]
+    when everything holds. *)
+val verify : result -> string option
+
+val pp_report : Format.formatter -> result -> unit

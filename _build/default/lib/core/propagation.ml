@@ -1,0 +1,5 @@
+let propagate complete ~cover ~name ~values =
+  let lifted =
+    Array.init (Sg.n_states complete) (fun m -> values.(cover.(m)))
+  in
+  Sg.add_extra complete ~name ~values:lifted

@@ -1,0 +1,16 @@
+(** Propagation of state-signal assignments from a modular state graph
+    back to the complete state graph — algorithm [propagate] of the paper
+    (Figure 5).
+
+    Every complete-graph state inherits the value its covering modular
+    state received from the SAT solution.  Edge consistency in the
+    complete graph follows: an edge hidden in the module joins two states
+    of one cover class (equal values), and a visible edge maps to a
+    module edge whose value pair the SAT formula constrained. *)
+
+(** [propagate complete ~cover ~name ~values] attaches a new state signal
+    to [complete]: state [m] receives [values.(cover.(m))].
+    @raise Sg.Inconsistent if the assignment is not edge-consistent
+    (indicates a solver or cover bug). *)
+val propagate :
+  Sg.t -> cover:int array -> name:string -> values:Fourval.t array -> Sg.t

@@ -1,0 +1,1 @@
+lib/logic2/celement.ml: Array Cover Derive Espresso Exact Format Fun Int List Printf Sg Support

@@ -1,0 +1,1 @@
+lib/logic2/celement.mli: Cover Format Sg

@@ -1,0 +1,1 @@
+lib/logic2/cover.ml: Cube Format List String

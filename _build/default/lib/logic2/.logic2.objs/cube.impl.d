@@ -1,0 +1,1 @@
+lib/logic2/cube.ml: Array List Stdlib String

@@ -1,0 +1,1 @@
+lib/logic2/derive.ml: Array Cover Espresso Exact Format Fun Int List Printf Sg Support

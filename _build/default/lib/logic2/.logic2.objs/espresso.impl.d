@@ -1,0 +1,1 @@
+lib/logic2/espresso.ml: Array Cover Cube Fun Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/logic2/espresso.mli: Cover Cube

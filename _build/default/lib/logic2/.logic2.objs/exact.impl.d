@@ -1,0 +1,1 @@
+lib/logic2/exact.ml: Array Cover Cube Espresso Hashtbl Int List Printf Queue

@@ -1,0 +1,1 @@
+lib/logic2/hazard.ml: Array Cover Cube Derive Format Fun List Sg Support

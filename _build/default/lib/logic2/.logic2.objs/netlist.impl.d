@@ -1,0 +1,1 @@
+lib/logic2/netlist.ml: Array Buffer Cover Cube Derive Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/logic2/support.ml: Fun Hashtbl Int List Option

@@ -1,0 +1,58 @@
+type t = { pos : int; neg : int }
+
+let make ~pos ~neg =
+  if pos land neg <> 0 then invalid_arg "Cube.make: contradictory literal";
+  { pos; neg }
+
+let top = { pos = 0; neg = 0 }
+
+let of_minterm ~width m =
+  let all = (1 lsl width) - 1 in
+  { pos = m land all; neg = lnot m land all }
+
+let equal a b = a.pos = b.pos && a.neg = b.neg
+let compare = Stdlib.compare
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let n_literals c = popcount (c.pos lor c.neg)
+let covers_minterm c m = m land c.pos = c.pos && m land c.neg = 0
+let contains big small =
+  (* every literal of big must be a literal of small (with same sign) *)
+  big.pos land small.pos = big.pos && big.neg land small.neg = big.neg
+
+let intersects a b = a.pos land b.neg = 0 && a.neg land b.pos = 0
+
+let drop_var c v =
+  let m = lnot (1 lsl v) in
+  { pos = c.pos land m; neg = c.neg land m }
+
+let fixes c v = (c.pos lor c.neg) land (1 lsl v) <> 0
+
+let vars c =
+  let both = c.pos lor c.neg in
+  let acc = ref [] in
+  for v = 61 downto 0 do
+    if both land (1 lsl v) <> 0 then acc := v :: !acc
+  done;
+  !acc
+
+let distance a b = popcount ((a.pos land b.neg) lor (a.neg land b.pos))
+
+let to_pattern ~width c =
+  String.init width (fun v ->
+      if c.pos land (1 lsl v) <> 0 then '1'
+      else if c.neg land (1 lsl v) <> 0 then '0'
+      else '-')
+
+let to_product names c =
+  match vars c with
+  | [] -> "1"
+  | vs ->
+    String.concat " "
+      (List.map
+         (fun v ->
+           if c.pos land (1 lsl v) <> 0 then names.(v) else names.(v) ^ "'")
+         vs)

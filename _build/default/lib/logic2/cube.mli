@@ -1,0 +1,53 @@
+(** Cubes (product terms) over up to 62 boolean variables.
+
+    A cube fixes some variables to 1 ([pos]), some to 0 ([neg]) and leaves
+    the rest free.  Minterms are plain [int] codes (bit [i] = variable
+    [i]), matching the state codes of {!Sg}. *)
+
+type t = private { pos : int; neg : int }
+
+(** [make ~pos ~neg] builds a cube.  Raises [Invalid_argument] if a
+    variable is both positive and negative. *)
+val make : pos:int -> neg:int -> t
+
+(** [top] is the universal cube (no literals). *)
+val top : t
+
+(** [of_minterm ~width m] fixes all [width] variables to the bits of [m]. *)
+val of_minterm : width:int -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [n_literals c] is the number of fixed variables. *)
+val n_literals : t -> int
+
+(** [covers_minterm c m] holds when [m] lies inside [c]. *)
+val covers_minterm : t -> int -> bool
+
+(** [contains big small] holds when every point of [small] is in [big]. *)
+val contains : t -> t -> bool
+
+(** [intersects a b] holds when the cubes share a point. *)
+val intersects : t -> t -> bool
+
+(** [drop_var c v] frees variable [v] (single-literal expansion). *)
+val drop_var : t -> int -> t
+
+(** [fixes c v] tells whether [c] constrains variable [v]. *)
+val fixes : t -> int -> bool
+
+(** [vars c] lists the fixed variables in increasing order. *)
+val vars : t -> int list
+
+(** [distance a b] counts variables fixed to opposite values in [a], [b];
+    0 means they intersect. *)
+val distance : t -> t -> int
+
+(** [to_pattern ~width c] prints positional-cube notation, e.g. ["1-0"]
+    (variable 0 leftmost). *)
+val to_pattern : width:int -> t -> string
+
+(** [to_product names c] prints an algebraic product, e.g. ["a b' c"];
+    the universal cube prints as ["1"]. *)
+val to_product : string array -> t -> string

@@ -1,0 +1,33 @@
+(** Espresso-style heuristic two-level minimization.
+
+    The paper measures implementation area as the literal count of a
+    prime-irredundant cover produced by [espresso -Dso -S1]; this module
+    is the substitute.  The on- and off-sets are explicit minterm lists
+    (state codes of the reachable states); everything else is don't-care,
+    which matches STG synthesis where unreachable codes never occur.
+
+    EXPAND raises each on-set minterm to a prime cube against the explicit
+    off-set (single-literal drops; a greedy pass is enough because
+    enlarging a cube can only make further drops harder).  IRREDUNDANT
+    keeps essential primes, covers the remaining minterms greedily, then
+    sweeps backwards removing anything redundant.  The result is prime and
+    irredundant, deterministic, and exact on the small covers asynchronous
+    controllers produce. *)
+
+(** [minimize ~width ~onset ~offset] returns a prime-irredundant cover of
+    [onset] that avoids every minterm of [offset].
+    Raises [Invalid_argument] if the two sets intersect. *)
+val minimize : width:int -> onset:int list -> offset:int list -> Cover.t
+
+(** [verify ~onset ~offset cover] re-checks the defining properties
+    (used by the test-suite and after every synthesis run): covers all of
+    [onset], avoids all of [offset]. *)
+val verify : onset:int list -> offset:int list -> Cover.t -> bool
+
+(** [is_prime ~offset ~width cube] holds when no single literal of [cube]
+    can be dropped without hitting [offset]. *)
+val is_prime : width:int -> offset:int list -> Cube.t -> bool
+
+(** [is_irredundant ~onset cover] holds when removing any one cube
+    uncovers some minterm of [onset]. *)
+val is_irredundant : onset:int list -> Cover.t -> bool

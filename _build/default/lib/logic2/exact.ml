@@ -1,0 +1,132 @@
+exception Too_large of string
+
+let all_primes ?(max_primes = 4096) ~width ~onset ~offset () =
+  let seen = Hashtbl.create 256 in
+  let primes = ref [] in
+  let queue = Queue.create () in
+  let push c =
+    let key = ((c : Cube.t).Cube.pos, c.Cube.neg) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if Hashtbl.length seen > 16 * max_primes then
+        raise (Too_large "prime expansion frontier");
+      Queue.add c queue
+    end
+  in
+  List.iter (fun m -> push (Cube.of_minterm ~width m)) onset;
+  while not (Queue.is_empty queue) do
+    let c = Queue.take queue in
+    let grown = ref false in
+    for v = 0 to width - 1 do
+      if Cube.fixes c v then begin
+        let c' = Cube.drop_var c v in
+        if not (List.exists (Cube.covers_minterm c') offset) then begin
+          grown := true;
+          push c'
+        end
+      end
+    done;
+    if not !grown then begin
+      primes := c :: !primes;
+      if List.length !primes > max_primes then
+        raise (Too_large "too many primes")
+    end
+  done;
+  List.sort_uniq Cube.compare !primes
+
+let minimize ?max_primes ?(max_nodes = 2_000_000) ~width ~onset ~offset () =
+  let onset = List.sort_uniq Int.compare onset in
+  let offset = List.sort_uniq Int.compare offset in
+  List.iter
+    (fun m ->
+      if List.mem m offset then
+        invalid_arg (Printf.sprintf "Exact.minimize: minterm %d in both sets" m))
+    onset;
+  if onset = [] then Cover.empty ~width
+  else begin
+    let primes = Array.of_list (all_primes ?max_primes ~width ~onset ~offset ()) in
+    let np = Array.length primes in
+    let cost = Array.map Cube.n_literals primes in
+    (* covering sets as minterm index lists *)
+    let minterms = Array.of_list onset in
+    let nm = Array.length minterms in
+    let covers =
+      Array.map
+        (fun c ->
+          let l = ref [] in
+          for i = nm - 1 downto 0 do
+            if Cube.covers_minterm c minterms.(i) then l := i :: !l
+          done;
+          !l)
+        primes
+    in
+    let candidates =
+      Array.init nm (fun i ->
+          let l = ref [] in
+          for p = np - 1 downto 0 do
+            if List.mem i covers.(p) then l := p :: !l
+          done;
+          !l)
+    in
+    Array.iteri
+      (fun i cs ->
+        if cs = [] then
+          raise
+            (Too_large
+               (Printf.sprintf "minterm %d has no covering prime" minterms.(i))))
+      candidates;
+    (* Greedy initial solution for the upper bound. *)
+    let greedy = Espresso.minimize ~width ~onset ~offset in
+    let best_cost = ref (Cover.n_literals greedy) in
+    let best = ref greedy.Cover.cubes in
+    let covered = Array.make nm 0 in
+    let nodes = ref 0 in
+    (* Lower bound: disjoint uncovered minterms, each paid at its
+       cheapest covering prime. *)
+    let lower_bound () =
+      let blocked = Array.make nm false in
+      let lb = ref 0 in
+      for i = 0 to nm - 1 do
+        if covered.(i) = 0 && not blocked.(i) then begin
+          let cheapest = ref max_int in
+          List.iter
+            (fun p ->
+              if cost.(p) < !cheapest then cheapest := cost.(p);
+              List.iter (fun j -> blocked.(j) <- true) covers.(p))
+            candidates.(i);
+          lb := !lb + !cheapest
+        end
+      done;
+      !lb
+    in
+    let rec branch chosen acc_cost =
+      incr nodes;
+      if !nodes > max_nodes then raise (Too_large "branch and bound nodes");
+      (* next uncovered minterm with the fewest candidates *)
+      let next = ref (-1) and fewest = ref max_int in
+      for i = 0 to nm - 1 do
+        if covered.(i) = 0 then begin
+          let k = List.length candidates.(i) in
+          if k < !fewest then begin
+            fewest := k;
+            next := i
+          end
+        end
+      done;
+      if !next < 0 then begin
+        if acc_cost < !best_cost then begin
+          best_cost := acc_cost;
+          best := List.map (fun p -> primes.(p)) chosen
+        end
+      end
+      else if acc_cost + lower_bound () < !best_cost then
+        List.iter
+          (fun p ->
+            List.iter (fun j -> covered.(j) <- covered.(j) + 1) covers.(p);
+            branch (p :: chosen) (acc_cost + cost.(p));
+            List.iter (fun j -> covered.(j) <- covered.(j) - 1) covers.(p))
+          candidates.(!next)
+    in
+    branch [] 0;
+    Cover.make ~width !best
+  end

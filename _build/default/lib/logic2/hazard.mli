@@ -1,0 +1,28 @@
+(** Static hazard analysis of SOP covers against the state graph.
+
+    A sum-of-products implementation of a next-state function has a
+    static-1 hazard on a state-graph edge when the function is 1 in both
+    endpoint states but no single product term covers both codes: during
+    the input change one AND gate switches off before another switches
+    on, and the OR output may glitch.  The paper delegates hazard removal
+    to known techniques (Lavagno et al., DAC'91); this module provides
+    the detection side, which is what a downstream user needs to decide
+    whether cover enlargement is required. *)
+
+type hazard = {
+  func_name : string;
+  edge_src : int;
+  edge_dst : int;  (** state ids of the hazardous transition *)
+}
+
+(** [static_one_hazards sg f] scans all edges of [sg] for static-1
+    hazards of [f] ([f.support] must name signals of [sg]). *)
+val static_one_hazards : Sg.t -> Derive.func -> hazard list
+
+(** [hazard_free_enlargement sg f] adds consensus cubes covering every
+    hazardous edge (each added cube is the smallest cube spanning both
+    endpoint codes, expanded to a prime against [f]'s off-set).  The
+    result is a hazard-free-on-edges cover containing the original. *)
+val hazard_free_enlargement : Sg.t -> Derive.func -> Derive.func
+
+val pp_hazard : Format.formatter -> hazard -> unit

@@ -1,0 +1,46 @@
+(** Gate-level netlist generation from minimized covers.
+
+    Maps the sum-of-products implementation of each non-input signal onto
+    a two-level AND/OR network with explicit inverters, and emits it as
+    structural Verilog.  The feedback inherent in asynchronous next-state
+    functions ([f] appears in its own support) is expressed directly by
+    wiring the output back — the standard SOP-with-feedback realisation
+    the paper's flow targets before technology mapping. *)
+
+type gate =
+  | Inv of { out : string; input : string }
+  | And of { out : string; inputs : string list }
+  | Or of { out : string; inputs : string list }
+  | Wire of { out : string; input : string }  (** single-cube covers *)
+  | Const of { out : string; value : bool }  (** empty / universal covers *)
+
+type t = {
+  name : string;
+  inputs : string list;  (** primary inputs: STG input signals *)
+  outputs : string list;  (** implemented non-input signals *)
+  gates : gate list;
+}
+
+(** [of_functions ~name ~inputs fs] builds the netlist; [inputs] are the
+    primary-input signal names. *)
+val of_functions : name:string -> inputs:string list -> Derive.func list -> t
+
+(** [n_gates nl] counts real gates (inverters, ANDs, ORs). *)
+val n_gates : t -> int
+
+(** [n_transistors nl] estimates static-CMOS cost: 2 per inverter input,
+    2·k per k-input AND/OR (plus output inverter pairs are already
+    explicit). *)
+val n_transistors : t -> int
+
+(** [max_fanin nl] is the widest gate. *)
+val max_fanin : t -> int
+
+(** [to_verilog nl] renders structural Verilog-2001. *)
+val to_verilog : t -> string
+
+(** [eval nl assignment] simulates the combinational network: given
+    values for all inputs and current outputs (feedback), returns the
+    next value of every output, in [outputs] order.  Used by tests to
+    cross-check the netlist against the covers. *)
+val eval : t -> (string * bool) list -> (string * bool) list

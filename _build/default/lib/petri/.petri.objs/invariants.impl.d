@@ -1,0 +1,1 @@
+lib/petri/invariants.ml: Array Format List Marking Petri

@@ -1,0 +1,1 @@
+lib/petri/invariants.mli: Format Marking Petri

@@ -1,0 +1,1 @@
+lib/petri/petri.ml: Array Format Int List Marking Printf

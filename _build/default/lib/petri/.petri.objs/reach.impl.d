@@ -1,0 +1,1 @@
+lib/petri/reach.ml: Array Hashtbl Int List Marking Petri Queue

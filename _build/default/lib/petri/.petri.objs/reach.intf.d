@@ -1,0 +1,1 @@
+lib/petri/reach.mli: Marking Petri

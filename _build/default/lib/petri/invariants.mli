@@ -1,0 +1,38 @@
+(** Structural place invariants of Petri nets.
+
+    A P-invariant is a rational vector [y ≥ 0] with [yᵀ·C = 0] for the
+    incidence matrix [C]: the weighted token count [yᵀ·M] is constant
+    under firing.  Invariants give structural proofs of boundedness —
+    a net covered by positive invariants is bounded regardless of the
+    initial marking, which is why well-formed STG fragments (handshake
+    rings, fork/join pairs) are 1-safe by construction.
+
+    The computation is the classical Farkas / Fourier–Motzkin style
+    elimination over exact rationals (arbitrary growth is capped). *)
+
+type invariant = {
+  weights : int array;  (** one non-negative weight per place *)
+  token_sum : int;  (** the conserved quantity under the initial marking *)
+}
+
+exception Too_many of int
+(** Raised when intermediate rows exceed the cap; carries the cap. *)
+
+(** [incidence net] is the place × transition incidence matrix
+    [C.(p).(t) = post − pre]. *)
+val incidence : Petri.t -> int array array
+
+(** [p_invariants ?max_rows net] computes a generating set of minimal
+    non-negative P-invariants (integer, gcd-reduced).
+    @param max_rows growth cap for the elimination (default 4096). *)
+val p_invariants : ?max_rows:int -> Petri.t -> invariant list
+
+(** [covered net invs] holds when every place has positive weight in some
+    invariant — a structural boundedness certificate. *)
+val covered : Petri.t -> invariant list -> bool
+
+(** [check net inv marking] re-evaluates the conserved sum under another
+    marking (equality with [inv.token_sum] is the invariant property). *)
+val check : Petri.t -> invariant -> Marking.t -> bool
+
+val pp : Petri.t -> Format.formatter -> invariant -> unit

@@ -1,0 +1,68 @@
+type t = int array
+
+let of_array counts =
+  Array.iter
+    (fun c ->
+      if c < 0 then invalid_arg "Marking.of_array: negative token count")
+    counts;
+  Array.copy counts
+
+let to_array m = Array.copy m
+let size = Array.length
+let tokens m p = m.(p)
+let empty n = Array.make n 0
+
+let set m p k =
+  if k < 0 then invalid_arg "Marking.set: negative token count";
+  let m' = Array.copy m in
+  m'.(p) <- k;
+  m'
+
+let add m p k =
+  let v = m.(p) + k in
+  if v < 0 then invalid_arg "Marking.add: negative token count";
+  let m' = Array.copy m in
+  m'.(p) <- v;
+  m'
+
+let is_safe m = Array.for_all (fun c -> c <= 1) m
+let total m = Array.fold_left ( + ) 0 m
+
+let marked_places m =
+  let acc = ref [] in
+  for p = Array.length m - 1 downto 0 do
+    if m.(p) > 0 then acc := p :: !acc
+  done;
+  !acc
+
+let compare = Stdlib.compare
+let equal a b = Stdlib.compare a b = 0
+let hash m = Hashtbl.hash (Array.to_list m)
+
+let pp ppf m =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  Array.iteri
+    (fun p c ->
+      if c > 0 then begin
+        if not !first then Format.fprintf ppf " ";
+        first := false;
+        if c = 1 then Format.fprintf ppf "p%d" p
+        else Format.fprintf ppf "p%d:%d" p c
+      end)
+    m;
+  Format.fprintf ppf "}"
+
+let pp_named names ppf m =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  Array.iteri
+    (fun p c ->
+      if c > 0 then begin
+        if not !first then Format.fprintf ppf " ";
+        first := false;
+        if c = 1 then Format.fprintf ppf "%s" names.(p)
+        else Format.fprintf ppf "%s:%d" names.(p) c
+      end)
+    m;
+  Format.fprintf ppf "}"

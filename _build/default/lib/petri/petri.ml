@@ -1,0 +1,136 @@
+type t = {
+  place_names : string array;
+  trans_names : string array;
+  pre : int list array; (* transition -> fanin places *)
+  post : int list array; (* transition -> fanout places *)
+  place_pre : int list array; (* place -> producing transitions *)
+  place_post : int list array; (* place -> consuming transitions *)
+  initial : Marking.t;
+}
+
+module Builder = struct
+  type builder = {
+    mutable places : (string * int) list; (* reversed *)
+    mutable transitions : string list; (* reversed *)
+    mutable arcs_pt : (int * int) list;
+    mutable arcs_tp : (int * int) list;
+    mutable np : int;
+    mutable nt : int;
+  }
+
+  let create () =
+    { places = []; transitions = []; arcs_pt = []; arcs_tp = []; np = 0; nt = 0 }
+
+  let add_place b ~name ~tokens =
+    if tokens < 0 then invalid_arg "Petri.Builder.add_place: negative tokens";
+    let id = b.np in
+    b.places <- (name, tokens) :: b.places;
+    b.np <- b.np + 1;
+    id
+
+  let add_transition b ~name =
+    let id = b.nt in
+    b.transitions <- name :: b.transitions;
+    b.nt <- b.nt + 1;
+    id
+
+  let check_ids b p t =
+    if p < 0 || p >= b.np then invalid_arg "Petri.Builder: unknown place";
+    if t < 0 || t >= b.nt then invalid_arg "Petri.Builder: unknown transition"
+
+  let arc_pt b p t =
+    check_ids b p t;
+    b.arcs_pt <- (p, t) :: b.arcs_pt
+
+  let arc_tp b t p =
+    check_ids b p t;
+    b.arcs_tp <- (t, p) :: b.arcs_tp
+
+  let build b =
+    let place_list = List.rev b.places in
+    let place_names = Array.of_list (List.map fst place_list) in
+    let tokens = Array.of_list (List.map snd place_list) in
+    let trans_names = Array.of_list (List.rev b.transitions) in
+    let np = Array.length place_names and nt = Array.length trans_names in
+    let pre = Array.make nt [] and post = Array.make nt [] in
+    let place_pre = Array.make np [] and place_post = Array.make np [] in
+    List.iter
+      (fun (p, t) ->
+        pre.(t) <- p :: pre.(t);
+        place_post.(p) <- t :: place_post.(p))
+      b.arcs_pt;
+    List.iter
+      (fun (t, p) ->
+        post.(t) <- p :: post.(t);
+        place_pre.(p) <- t :: place_pre.(p))
+      b.arcs_tp;
+    let sort = List.sort_uniq Int.compare in
+    Array.iteri (fun i l -> pre.(i) <- sort l) pre;
+    Array.iteri (fun i l -> post.(i) <- sort l) post;
+    Array.iteri (fun i l -> place_pre.(i) <- sort l) place_pre;
+    Array.iteri (fun i l -> place_post.(i) <- sort l) place_post;
+    {
+      place_names;
+      trans_names;
+      pre;
+      post;
+      place_pre;
+      place_post;
+      initial = Marking.of_array tokens;
+    }
+end
+
+let n_places net = Array.length net.place_names
+let n_transitions net = Array.length net.trans_names
+let place_name net p = net.place_names.(p)
+let transition_name net t = net.trans_names.(t)
+let pre net t = net.pre.(t)
+let post net t = net.post.(t)
+let place_pre net p = net.place_pre.(p)
+let place_post net p = net.place_post.(p)
+let initial_marking net = net.initial
+
+let enabled net m t = List.for_all (fun p -> Marking.tokens m p > 0) net.pre.(t)
+
+let enabled_transitions net m =
+  let acc = ref [] in
+  for t = n_transitions net - 1 downto 0 do
+    if enabled net m t then acc := t :: !acc
+  done;
+  !acc
+
+let fire net m t =
+  if not (enabled net m t) then
+    invalid_arg
+      (Printf.sprintf "Petri.fire: transition %s not enabled"
+         net.trans_names.(t));
+  let counts = Marking.to_array m in
+  List.iter (fun p -> counts.(p) <- counts.(p) - 1) net.pre.(t);
+  List.iter (fun p -> counts.(p) <- counts.(p) + 1) net.post.(t);
+  Marking.of_array counts
+
+let is_marked_graph net =
+  let ok = ref true in
+  for p = 0 to n_places net - 1 do
+    if List.length net.place_pre.(p) <> 1 || List.length net.place_post.(p) <> 1
+    then ok := false
+  done;
+  !ok
+
+let is_free_choice net =
+  (* For every place with several consumers, each consumer must have that
+     place as its unique fanin. *)
+  let ok = ref true in
+  for p = 0 to n_places net - 1 do
+    match net.place_post.(p) with
+    | [] | [ _ ] -> ()
+    | consumers ->
+      List.iter (fun t -> if net.pre.(t) <> [ p ] then ok := false) consumers
+  done;
+  !ok
+
+let pp ppf net =
+  Format.fprintf ppf "petri net: %d places, %d transitions, initial %a"
+    (n_places net) (n_transitions net)
+    (Marking.pp_named net.place_names)
+    net.initial

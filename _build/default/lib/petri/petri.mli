@@ -1,0 +1,90 @@
+(** Place/transition Petri nets.
+
+    A net is a bipartite directed graph <P, T, F, M0> of places and
+    transitions with a flow relation and an initial marking (Murata 1989).
+    This module provides construction, the firing rule, and the structural
+    subclass tests (marked graph, free choice) that the synthesis layers
+    above rely on.
+
+    Places and transitions are dense integer ids assigned by {!Builder}. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  (** Imperative net builder.  Create one with {!create}, add places,
+      transitions and arcs, then {!build}. *)
+
+  type builder
+
+  val create : unit -> builder
+
+  (** [add_place b ~name ~tokens] registers a new place carrying [tokens]
+      tokens in the initial marking and returns its id. *)
+  val add_place : builder -> name:string -> tokens:int -> int
+
+  (** [add_transition b ~name] registers a new transition and returns its
+      id. *)
+  val add_transition : builder -> name:string -> int
+
+  (** [arc_pt b p t] adds a flow arc from place [p] to transition [t]. *)
+  val arc_pt : builder -> int -> int -> unit
+
+  (** [arc_tp b t p] adds a flow arc from transition [t] to place [p]. *)
+  val arc_tp : builder -> int -> int -> unit
+
+  (** [build b] freezes the builder into an immutable net.  Raises
+      [Invalid_argument] on dangling arc endpoints. *)
+  val build : builder -> t
+end
+
+(** {1 Accessors} *)
+
+val n_places : t -> int
+val n_transitions : t -> int
+val place_name : t -> int -> string
+val transition_name : t -> int -> string
+
+(** [pre net t] lists the fanin places of transition [t]. *)
+val pre : t -> int -> int list
+
+(** [post net t] lists the fanout places of transition [t]. *)
+val post : t -> int -> int list
+
+(** [place_pre net p] lists the transitions producing into place [p]. *)
+val place_pre : t -> int -> int list
+
+(** [place_post net p] lists the transitions consuming from place [p]. *)
+val place_post : t -> int -> int list
+
+val initial_marking : t -> Marking.t
+
+(** {1 Dynamics} *)
+
+(** [enabled net m t] holds when every fanin place of [t] carries a token
+    under [m]. *)
+val enabled : t -> Marking.t -> int -> bool
+
+(** [enabled_transitions net m] lists all transitions enabled under [m],
+    in increasing id order. *)
+val enabled_transitions : t -> Marking.t -> int list
+
+(** [fire net m t] removes one token from each fanin place of [t] and adds
+    one to each fanout place.  Raises [Invalid_argument] if [t] is not
+    enabled. *)
+val fire : t -> Marking.t -> int -> Marking.t
+
+(** {1 Structural classification} *)
+
+(** A net is a marked graph when every place has exactly one fanin and one
+    fanout transition: pure concurrency, no choice. *)
+val is_marked_graph : t -> bool
+
+(** A net is free choice when for every place [p] with several consumers,
+    each of those consumers has [p] as its only fanin place: choice and
+    concurrency never interfere. *)
+val is_free_choice : t -> bool
+
+(** [pp] prints a structural summary of the net. *)
+val pp : Format.formatter -> t -> unit

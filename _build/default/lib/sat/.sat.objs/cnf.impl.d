@@ -1,0 +1,1 @@
+lib/sat/cnf.ml: Array Buffer Format Int List Printf String

@@ -1,0 +1,1 @@
+lib/sat/tseitin.ml: Array Cnf Int List Printf

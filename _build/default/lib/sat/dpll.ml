@@ -1,0 +1,245 @@
+type abort_reason = Backtrack_limit | Time_limit
+type result = Sat of bool array | Unsat | Aborted of abort_reason
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  backtracks : int;
+  elapsed : float;
+}
+
+exception Abort of abort_reason
+
+(* Counter-based propagation: per clause we track how many literals are
+   false and how many are true; a clause with all-but-one false and none
+   true is unit, all false is a conflict.  Occurrence lists drive the
+   counter updates.  This is simpler than watched literals and fast enough
+   for the formula sizes synthesis produces. *)
+
+type solver = {
+  nv : int;
+  clauses : int array array;
+  occ_pos : int list array; (* var -> clauses containing +v *)
+  occ_neg : int list array;
+  value : int array; (* 0 unassigned, 1 true, -1 false *)
+  n_false : int array; (* per clause *)
+  n_true : int array;
+  trail : int array; (* literals in assignment order *)
+  mutable trail_len : int;
+  mutable qhead : int;
+  saved_phase : bool array;
+  order : int array; (* variables, best first *)
+  mutable order_head : int;
+  mutable s_decisions : int;
+  mutable s_propagations : int;
+  mutable s_conflicts : int;
+  mutable s_backtracks : int;
+}
+
+let lit_value s l =
+  let v = s.value.(abs l) in
+  if v = 0 then 0 else if (l > 0) = (v > 0) then 1 else -1
+
+let make_solver f =
+  let nv = Cnf.n_vars f in
+  let clauses = Cnf.clauses f in
+  let occ_pos = Array.make (nv + 1) [] and occ_neg = Array.make (nv + 1) [] in
+  Array.iteri
+    (fun ci cl ->
+      Array.iter
+        (fun l ->
+          if l > 0 then occ_pos.(l) <- ci :: occ_pos.(l)
+          else occ_neg.(-l) <- ci :: occ_neg.(-l))
+        cl)
+    clauses;
+  (* Static Jeroslow-Wang branching order. *)
+  let score = Array.make (nv + 1) 0.0 in
+  Array.iter
+    (fun cl ->
+      let w = 2.0 ** float_of_int (-Array.length cl) in
+      Array.iter (fun l -> score.(abs l) <- score.(abs l) +. w) cl)
+    clauses;
+  let order = Array.init nv (fun i -> i + 1) in
+  Array.sort (fun a b -> compare score.(b) score.(a)) order;
+  {
+    nv;
+    clauses;
+    occ_pos;
+    occ_neg;
+    value = Array.make (nv + 1) 0;
+    n_false = Array.make (Array.length clauses) 0;
+    n_true = Array.make (Array.length clauses) 0;
+    trail = Array.make (max nv 1) 0;
+    trail_len = 0;
+    qhead = 0;
+    saved_phase = Array.make (nv + 1) false;
+    order;
+    order_head = 0;
+    s_decisions = 0;
+    s_propagations = 0;
+    s_conflicts = 0;
+    s_backtracks = 0;
+  }
+
+(* Enqueue a literal as true; returns false on immediate inconsistency. *)
+let enqueue s l =
+  match lit_value s l with
+  | 1 -> true
+  | -1 -> false
+  | _ ->
+    s.value.(abs l) <- (if l > 0 then 1 else -1);
+    s.saved_phase.(abs l) <- l > 0;
+    s.trail.(s.trail_len) <- l;
+    s.trail_len <- s.trail_len + 1;
+    true
+
+(* Propagate everything on the trail from qhead; returns true if no
+   conflict was found. *)
+let propagate s =
+  let ok = ref true in
+  while !ok && s.qhead < s.trail_len do
+    let l = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.s_propagations <- s.s_propagations + 1;
+    (* Clauses satisfied by l. *)
+    List.iter
+      (fun ci -> s.n_true.(ci) <- s.n_true.(ci) + 1)
+      (if l > 0 then s.occ_pos.(l) else s.occ_neg.(-l));
+    (* Clauses in which l is false. *)
+    let falsified = if l > 0 then s.occ_neg.(l) else s.occ_pos.(-l) in
+    List.iter
+      (fun ci ->
+        s.n_false.(ci) <- s.n_false.(ci) + 1;
+        if !ok && s.n_true.(ci) = 0 then begin
+          let len = Array.length s.clauses.(ci) in
+          if s.n_false.(ci) = len then ok := false
+          else if s.n_false.(ci) = len - 1 then begin
+            (* find the single unassigned literal *)
+            let cl = s.clauses.(ci) in
+            let unit = ref 0 in
+            Array.iter (fun l' -> if lit_value s l' = 0 then unit := l') cl;
+            if !unit <> 0 then ok := !ok && enqueue s !unit
+          end
+        end)
+      falsified
+  done;
+  !ok
+
+(* Undo trail entries down to (and excluding) position [pos]. *)
+let undo_to s pos =
+  while s.trail_len > pos do
+    s.trail_len <- s.trail_len - 1;
+    let l = s.trail.(s.trail_len) in
+    if s.trail_len < s.qhead then begin
+      List.iter
+        (fun ci -> s.n_true.(ci) <- s.n_true.(ci) - 1)
+        (if l > 0 then s.occ_pos.(l) else s.occ_neg.(-l));
+      List.iter
+        (fun ci -> s.n_false.(ci) <- s.n_false.(ci) - 1)
+        (if l > 0 then s.occ_neg.(l) else s.occ_pos.(-l))
+    end;
+    s.value.(abs l) <- 0
+  done;
+  if s.qhead > s.trail_len then s.qhead <- s.trail_len;
+  s.order_head <- 0
+
+type decision = { var : int; first_phase : bool; pos : int; mutable flipped : bool }
+
+let solve ?backtrack_limit ?(time_limit = infinity) f =
+  let t0 = Sys.time () in
+  let finish s result =
+    ( result,
+      {
+        decisions = s.s_decisions;
+        propagations = s.s_propagations;
+        conflicts = s.s_conflicts;
+        backtracks = s.s_backtracks;
+        elapsed = Sys.time () -. t0;
+      } )
+  in
+  let s = make_solver f in
+  if Cnf.has_empty_clause f then finish s Unsat
+  else begin
+    (* Top-level units. *)
+    let root_ok = ref true in
+    Array.iter
+      (fun cl ->
+        if Array.length cl = 1 then root_ok := !root_ok && enqueue s cl.(0))
+      s.clauses;
+    if (not !root_ok) || not (propagate s) then finish s Unsat
+    else begin
+      let decisions : decision list ref = ref [] in
+      let pick_var () =
+        let n = Array.length s.order in
+        let rec go i =
+          if i >= n then None
+          else if s.value.(s.order.(i)) = 0 then begin
+            s.order_head <- i + 1;
+            Some s.order.(i)
+          end
+          else go (i + 1)
+        in
+        go s.order_head
+      in
+      try
+        let rec search () =
+          if s.s_propagations land 1023 = 0 && Sys.time () -. t0 > time_limit
+          then raise (Abort Time_limit);
+          match pick_var () with
+          | None -> finish s (Sat (Array.init (s.nv + 1) (fun v -> v > 0 && s.value.(v) > 0)))
+          | Some v ->
+            s.s_decisions <- s.s_decisions + 1;
+            let phase = s.saved_phase.(v) in
+            let d = { var = v; first_phase = phase; pos = s.trail_len; flipped = false } in
+            decisions := d :: !decisions;
+            let lit = if phase then v else -v in
+            if enqueue s lit && propagate s then search () else resolve_conflict ()
+        and resolve_conflict () =
+          s.s_conflicts <- s.s_conflicts + 1;
+          let rec unwind () =
+            match !decisions with
+            | [] -> raise Exit (* unsat *)
+            | d :: rest ->
+              if d.flipped then begin
+                decisions := rest;
+                undo_to s d.pos;
+                unwind ()
+              end
+              else begin
+                s.s_backtracks <- s.s_backtracks + 1;
+                (match backtrack_limit with
+                | Some lim when s.s_backtracks > lim -> raise (Abort Backtrack_limit)
+                | _ -> ());
+                undo_to s d.pos;
+                d.flipped <- true;
+                let lit = if d.first_phase then -d.var else d.var in
+                if enqueue s lit && propagate s then () else unwind ()
+              end
+          in
+          (try unwind () with Exit -> raise Exit);
+          search ()
+        in
+        search ()
+      with
+      | Exit -> finish s Unsat
+      | Abort r -> finish s (Aborted r)
+    end
+  end
+
+let satisfiable f =
+  match solve f with
+  | Sat m, _ -> Some m
+  | Unsat, _ -> None
+  | Aborted _, _ -> failwith "Dpll.satisfiable: aborted"
+
+let pp_stats ppf st =
+  Format.fprintf ppf
+    "%d decisions, %d propagations, %d conflicts, %d backtracks, %.3fs"
+    st.decisions st.propagations st.conflicts st.backtracks st.elapsed
+
+let pp_result ppf = function
+  | Sat _ -> Format.fprintf ppf "SAT"
+  | Unsat -> Format.fprintf ppf "UNSAT"
+  | Aborted Backtrack_limit -> Format.fprintf ppf "ABORTED(backtrack limit)"
+  | Aborted Time_limit -> Format.fprintf ppf "ABORTED(time limit)"

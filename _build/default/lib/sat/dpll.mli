@@ -1,0 +1,36 @@
+(** A DPLL satisfiability solver with chronological backtracking.
+
+    This plays the role of the branch-and-bound SAT program the paper
+    takes from SIS (Stephan–Brayton–Sangiovanni-Vincentelli): depth-first
+    search with unit propagation, a static Jeroslow–Wang branching order,
+    phase saving, and a configurable {e backtrack limit} — Table 1's
+    "SAT Backtrack Limit" aborts are reproduced by hitting that limit. *)
+
+type abort_reason = Backtrack_limit | Time_limit
+
+type result =
+  | Sat of bool array
+      (** [a.(v)] is the value of variable [v]; index 0 is unused. *)
+  | Unsat
+  | Aborted of abort_reason
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  backtracks : int;
+  elapsed : float;  (** seconds of CPU time *)
+}
+
+(** [solve ?backtrack_limit ?time_limit f] decides [f].
+    @param backtrack_limit abort after this many backtracks (default: none)
+    @param time_limit abort after this many CPU seconds (default: none) *)
+val solve :
+  ?backtrack_limit:int -> ?time_limit:float -> Cnf.t -> result * stats
+
+(** [satisfiable f] is a convenience wrapper returning [Some model] /
+    [None]; aborts raise [Failure]. *)
+val satisfiable : Cnf.t -> bool array option
+
+val pp_stats : Format.formatter -> stats -> unit
+val pp_result : Format.formatter -> result -> unit

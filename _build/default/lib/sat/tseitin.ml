@@ -1,0 +1,84 @@
+type formula =
+  | Var of int
+  | Const of bool
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Xor of formula * formula
+  | Imp of formula * formula
+  | Iff of formula * formula
+
+let var v = Var v
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let ( ==> ) a b = Imp (a, b)
+let ( <=> ) a b = Iff (a, b)
+let not_ f = Not f
+
+(* Returns a literal equivalent to the sub-formula, adding defining
+   clauses for the auxiliary variables. *)
+let rec literal cnf f =
+  match f with
+  | Var v ->
+    if v <= 0 || v > Cnf.n_vars cnf then
+      invalid_arg (Printf.sprintf "Tseitin: variable %d not allocated" v);
+    v
+  | Const b ->
+    (* a fresh variable pinned to the constant *)
+    let x = Cnf.fresh_var cnf in
+    Cnf.add_clause cnf [ (if b then x else -x) ];
+    x
+  | Not g -> -literal cnf g
+  | And gs ->
+    let ls = List.map (literal cnf) gs in
+    let x = Cnf.fresh_var cnf in
+    List.iter (fun l -> Cnf.add_clause cnf [ -x; l ]) ls;
+    Cnf.add_clause cnf (x :: List.map Int.neg ls);
+    x
+  | Or gs ->
+    let ls = List.map (literal cnf) gs in
+    let x = Cnf.fresh_var cnf in
+    List.iter (fun l -> Cnf.add_clause cnf [ x; -l ]) ls;
+    Cnf.add_clause cnf (-x :: ls);
+    x
+  | Xor (a, b) ->
+    let la = literal cnf a and lb = literal cnf b in
+    let x = Cnf.fresh_var cnf in
+    Cnf.add_clause cnf [ -x; la; lb ];
+    Cnf.add_clause cnf [ -x; -la; -lb ];
+    Cnf.add_clause cnf [ x; la; -lb ];
+    Cnf.add_clause cnf [ x; -la; lb ];
+    x
+  | Imp (a, b) -> literal cnf (Or [ Not a; b ])
+  | Iff (a, b) -> -literal cnf (Xor (a, b))
+
+let assert_formula cnf f =
+  (* clausify top-level conjunction directly: fewer auxiliaries *)
+  let rec top f =
+    match f with
+    | And gs -> List.iter top gs
+    | Const true -> ()
+    | Const false -> Cnf.add_clause cnf []
+    | Or gs when List.for_all (function Var _ | Not (Var _) -> true | _ -> false) gs
+      ->
+      Cnf.add_clause cnf
+        (List.map
+           (function
+             | Var v -> v
+             | Not (Var v) -> -v
+             | _ -> assert false)
+           gs)
+    | other -> Cnf.add_clause cnf [ literal cnf other ]
+  in
+  top f
+
+let rec eval f assignment =
+  match f with
+  | Var v -> assignment.(v)
+  | Const b -> b
+  | Not g -> not (eval g assignment)
+  | And gs -> List.for_all (fun g -> eval g assignment) gs
+  | Or gs -> List.exists (fun g -> eval g assignment) gs
+  | Xor (a, b) -> eval a assignment <> eval b assignment
+  | Imp (a, b) -> (not (eval a assignment)) || eval b assignment
+  | Iff (a, b) -> eval a assignment = eval b assignment

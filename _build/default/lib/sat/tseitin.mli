@@ -1,0 +1,35 @@
+(** Tseitin transformation: boolean formulas to equisatisfiable CNF.
+
+    The CSC encodings in this library are hand-clausified for tightness;
+    this module is the general-purpose front end for users who want to
+    state additional synthesis constraints ("these two state signals must
+    never both be excited", etc.) without writing clauses by hand.  Each
+    connective gets one fresh variable and its defining clauses, so the
+    result is linear in the formula size and equisatisfiable. *)
+
+type formula =
+  | Var of int  (** a CNF variable (must already be allocated) *)
+  | Const of bool
+  | Not of formula
+  | And of formula list
+  | Or of formula list
+  | Xor of formula * formula
+  | Imp of formula * formula
+  | Iff of formula * formula
+
+(** Convenience constructors. *)
+val var : int -> formula
+
+val ( &&& ) : formula -> formula -> formula
+val ( ||| ) : formula -> formula -> formula
+val ( ==> ) : formula -> formula -> formula
+val ( <=> ) : formula -> formula -> formula
+val not_ : formula -> formula
+
+(** [assert_formula cnf f] adds clauses to [cnf] forcing [f] to hold
+    (allocating auxiliary variables as needed).  Raises
+    [Invalid_argument] on a [Var v] not allocated in [cnf]. *)
+val assert_formula : Cnf.t -> formula -> unit
+
+(** [eval f assignment] evaluates the formula directly (for testing). *)
+val eval : formula -> bool array -> bool

@@ -1,0 +1,127 @@
+type stats = { flips : int; tries : int; elapsed : float }
+
+let solve ?(seed = 0) ?(noise = 0.5) ?(init = `Random) ?max_flips
+    ?(max_tries = 10) f =
+  let t0 = Sys.time () in
+  let rng = Random.State.make [| seed |] in
+  let nv = Cnf.n_vars f in
+  let clauses = Cnf.clauses f in
+  let ncl = Array.length clauses in
+  let max_flips =
+    match max_flips with Some m -> m | None -> max 10_000 (100 * nv)
+  in
+  let occ_pos = Array.make (nv + 1) [] and occ_neg = Array.make (nv + 1) [] in
+  Array.iteri
+    (fun ci cl ->
+      Array.iter
+        (fun l ->
+          if l > 0 then occ_pos.(l) <- ci :: occ_pos.(l)
+          else occ_neg.(-l) <- ci :: occ_neg.(-l))
+        cl)
+    clauses;
+  let value = Array.make (nv + 1) false in
+  let n_true = Array.make ncl 0 in
+  (* indices of unsatisfied clauses, as a set with positions *)
+  let unsat = Array.make (max ncl 1) 0 in
+  let unsat_pos = Array.make (max ncl 1) (-1) in
+  let n_unsat = ref 0 in
+  let lit_true l = if l > 0 then value.(l) else not value.(-l) in
+  let mark_unsat ci =
+    if unsat_pos.(ci) < 0 then begin
+      unsat.(!n_unsat) <- ci;
+      unsat_pos.(ci) <- !n_unsat;
+      incr n_unsat
+    end
+  in
+  let mark_sat ci =
+    let p = unsat_pos.(ci) in
+    if p >= 0 then begin
+      decr n_unsat;
+      let last = unsat.(!n_unsat) in
+      unsat.(p) <- last;
+      unsat_pos.(last) <- p;
+      unsat_pos.(ci) <- -1
+    end
+  in
+  let init_counts () =
+    Array.fill unsat_pos 0 (Array.length unsat_pos) (-1);
+    n_unsat := 0;
+    Array.iteri
+      (fun ci cl ->
+        let k = Array.fold_left (fun a l -> if lit_true l then a + 1 else a) 0 cl in
+        n_true.(ci) <- k;
+        if k = 0 then mark_unsat ci)
+      clauses
+  in
+  let flip v =
+    value.(v) <- not value.(v);
+    let now_true = if value.(v) then occ_pos.(v) else occ_neg.(v) in
+    let now_false = if value.(v) then occ_neg.(v) else occ_pos.(v) in
+    List.iter
+      (fun ci ->
+        n_true.(ci) <- n_true.(ci) + 1;
+        if n_true.(ci) = 1 then mark_sat ci)
+      now_true;
+    List.iter
+      (fun ci ->
+        n_true.(ci) <- n_true.(ci) - 1;
+        if n_true.(ci) = 0 then mark_unsat ci)
+      now_false
+  in
+  (* breaks v = clauses that become unsatisfied if v flips *)
+  let break_count v =
+    let would_false = if value.(v) then occ_pos.(v) else occ_neg.(v) in
+    List.fold_left
+      (fun acc ci -> if n_true.(ci) = 1 then acc + 1 else acc)
+      0 would_false
+  in
+  let total_flips = ref 0 in
+  let result = ref None in
+  let tries = ref 0 in
+  (try
+     if Cnf.has_empty_clause f then raise Exit;
+     for _try = 1 to max_tries do
+       incr tries;
+       (* The first try may start from a caller-chosen polarity: for the
+          CSC encodings an all-false start means "every state signal
+          stable at 0", and the search only raises what the constraints
+          force — producing far tighter excitation regions than a random
+          start.  Retries always randomize. *)
+       for v = 1 to nv do
+         value.(v) <-
+           (match init with
+           | `False when !tries = 1 -> false
+           | `False | `Random -> Random.State.bool rng)
+       done;
+       init_counts ();
+       let fl = ref 0 in
+       while !n_unsat > 0 && !fl < max_flips do
+         incr fl;
+         incr total_flips;
+         let ci = unsat.(Random.State.int rng !n_unsat) in
+         let cl = clauses.(ci) in
+         let v =
+           if Random.State.float rng 1.0 < noise then
+             abs cl.(Random.State.int rng (Array.length cl))
+           else begin
+             let best = ref (abs cl.(0)) and best_b = ref max_int in
+             Array.iter
+               (fun l ->
+                 let b = break_count (abs l) in
+                 if b < !best_b then begin
+                   best_b := b;
+                   best := abs l
+                 end)
+               cl;
+             !best
+           end
+         in
+         flip v
+       done;
+       if !n_unsat = 0 then begin
+         result := Some (Array.copy value);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (!result, { flips = !total_flips; tries = !tries; elapsed = Sys.time () -. t0 })

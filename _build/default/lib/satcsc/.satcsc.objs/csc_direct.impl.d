@@ -1,0 +1,1 @@
+lib/satcsc/csc_direct.ml: Array Cnf Csc Csc_encode Dpll List Option Sg Sys

@@ -1,0 +1,1 @@
+lib/satcsc/csc_direct.mli: Dpll Sg

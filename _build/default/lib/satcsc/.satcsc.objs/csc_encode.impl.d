@@ -1,0 +1,1 @@
+lib/satcsc/csc_encode.ml: Array Cnf Csc Fourval Fun Hashtbl Int List Sg

@@ -1,0 +1,1 @@
+lib/satcsc/csc_encode.mli: Cnf Fourval Sg

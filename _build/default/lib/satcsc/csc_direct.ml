@@ -1,0 +1,78 @@
+type formula_size = { vars : int; clauses : int }
+type outcome = Solved of Sg.t | Gave_up of Dpll.abort_reason
+
+type report = {
+  outcome : outcome;
+  n_new : int;
+  formulas : formula_size list;
+  solver_stats : Dpll.stats list;
+  elapsed : float;
+}
+
+let solve ?backtrack_limit ?time_limit ?(name_prefix = "csc") ?(max_extra = 6)
+    sg =
+  let t0 = Sys.time () in
+  let deadline = Option.map (fun l -> t0 +. l) time_limit in
+  let remaining () =
+    match deadline with None -> None | Some d -> Some (d -. Sys.time ())
+  in
+  if Csc.csc_satisfied sg then
+    {
+      outcome = Solved sg;
+      n_new = 0;
+      formulas = [];
+      solver_stats = [];
+      elapsed = Sys.time () -. t0;
+    }
+  else begin
+    let lb = max 1 (Csc.lower_bound sg) in
+    let formulas = ref [] and stats = ref [] in
+    let rec attempt n_new =
+      if n_new > lb + max_extra then
+        {
+          outcome = Gave_up Dpll.Time_limit;
+          n_new = 0;
+          formulas = List.rev !formulas;
+          solver_stats = List.rev !stats;
+          elapsed = Sys.time () -. t0;
+        }
+      else begin
+        let enc = Csc_encode.encode sg ~n_new in
+        formulas :=
+          { vars = Cnf.n_vars enc.Csc_encode.cnf;
+            clauses = Cnf.n_clauses enc.Csc_encode.cnf }
+          :: !formulas;
+        let time_limit =
+          match remaining () with
+          | Some r when r <= 0.0 -> Some 0.0
+          | other -> other
+        in
+        let result, st = Dpll.solve ?backtrack_limit ?time_limit enc.Csc_encode.cnf in
+        stats := st :: !stats;
+        match result with
+        | Dpll.Sat model ->
+          let names =
+            Array.init n_new (fun k -> name_prefix ^ string_of_int k)
+          in
+          let solved = Csc_encode.apply sg enc model ~names in
+          assert (Csc.csc_satisfied solved);
+          {
+            outcome = Solved solved;
+            n_new;
+            formulas = List.rev !formulas;
+            solver_stats = List.rev !stats;
+            elapsed = Sys.time () -. t0;
+          }
+        | Dpll.Unsat -> attempt (n_new + 1)
+        | Dpll.Aborted r ->
+          {
+            outcome = Gave_up r;
+            n_new = 0;
+            formulas = List.rev !formulas;
+            solver_stats = List.rev !stats;
+            elapsed = Sys.time () -. t0;
+          }
+      end
+    in
+    attempt lb
+  end

@@ -1,0 +1,37 @@
+(** The direct (non-decomposed) CSC satisfaction method.
+
+    This is the Vanbekbergen et al. [22] baseline of Table 1: encode the
+    complete state graph's CSC problem as a single SAT formula, starting
+    from the lower bound on state signals and adding one signal whenever
+    the formula is unsatisfiable.  Large graphs produce very large
+    formulas, which is exactly the weakness the paper's modular
+    partitioning removes; the [backtrack_limit] reproduces the "SAT
+    Backtrack Limit" aborts. *)
+
+type formula_size = { vars : int; clauses : int }
+
+type outcome =
+  | Solved of Sg.t  (** graph with the new state signals attached *)
+  | Gave_up of Dpll.abort_reason
+
+type report = {
+  outcome : outcome;
+  n_new : int;  (** state signals in the solution (0 if aborted) *)
+  formulas : formula_size list;  (** one entry per SAT attempt *)
+  solver_stats : Dpll.stats list;
+  elapsed : float;
+}
+
+(** [solve ?backtrack_limit ?time_limit ?name_prefix ?max_extra sg]
+    resolves all CSC conflicts of [sg].
+    @param name_prefix new signals are named [prefix ^ string_of_int k]
+           (default ["csc"])
+    @param max_extra give up (via [Time_limit]) beyond lower bound +
+           this many additional signals (default 6) *)
+val solve :
+  ?backtrack_limit:int ->
+  ?time_limit:float ->
+  ?name_prefix:string ->
+  ?max_extra:int ->
+  Sg.t ->
+  report

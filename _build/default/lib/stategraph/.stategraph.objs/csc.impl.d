@@ -1,0 +1,1 @@
+lib/stategraph/csc.ml: Buffer Format Hashtbl Int List Option Printf Sg

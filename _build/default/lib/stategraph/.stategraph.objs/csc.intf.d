@@ -1,0 +1,1 @@
+lib/stategraph/csc.mli: Format Sg

@@ -1,0 +1,1 @@
+lib/stategraph/fourval.ml: Format List

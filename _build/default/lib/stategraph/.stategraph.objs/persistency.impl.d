@@ -1,0 +1,1 @@
+lib/stategraph/persistency.ml: Format List Sg

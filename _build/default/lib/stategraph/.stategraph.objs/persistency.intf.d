@@ -1,0 +1,1 @@
+lib/stategraph/persistency.mli: Format Sg

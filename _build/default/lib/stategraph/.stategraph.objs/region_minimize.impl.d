@@ -1,0 +1,1 @@
+lib/stategraph/region_minimize.ml: Array Buffer Fourval List Printf Sg

@@ -1,0 +1,1 @@
+lib/stategraph/region_minimize.mli: Sg

@@ -1,0 +1,1 @@
+lib/stategraph/sg.ml: Array Buffer Format Fourval Fun Hashtbl List Printf Queue Reach Signal Stg

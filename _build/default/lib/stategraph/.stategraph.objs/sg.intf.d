@@ -1,0 +1,1 @@
+lib/stategraph/sg.mli: Format Fourval Stg

@@ -1,0 +1,1 @@
+lib/stategraph/sg_expand.ml: Array Fourval List Sg

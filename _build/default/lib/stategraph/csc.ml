@@ -1,0 +1,94 @@
+let classes_tbl sg =
+  let tbl = Hashtbl.create (Sg.n_states sg) in
+  for m = Sg.n_states sg - 1 downto 0 do
+    let c = Sg.full_code sg m in
+    let cur = Option.value (Hashtbl.find_opt tbl c) ~default:[] in
+    Hashtbl.replace tbl c (m :: cur)
+  done;
+  tbl
+
+let code_classes sg =
+  let tbl = classes_tbl sg in
+  Hashtbl.fold
+    (fun _ members acc -> match members with [] | [ _ ] -> acc | ms -> ms :: acc)
+    tbl []
+  |> List.map (List.sort Int.compare)
+  |> List.sort compare
+
+let conflict_pairs sg =
+  let pairs = ref [] in
+  List.iter
+    (fun members ->
+      let sigs = List.map (fun m -> (m, Sg.excitation_signature sg m)) members in
+      let rec all_pairs = function
+        | [] -> ()
+        | (m, sm) :: rest ->
+          List.iter
+            (fun (m', sm') -> if sm <> sm' then pairs := (m, m') :: !pairs)
+            rest;
+          all_pairs rest
+      in
+      all_pairs sigs)
+    (code_classes sg);
+  List.sort compare !pairs
+
+let n_conflicts sg = List.length (conflict_pairs sg)
+
+let output_conflict_pairs sg ~output =
+  let pairs = ref [] in
+  List.iter
+    (fun members ->
+      let vals = List.map (fun m -> (m, Sg.implied_value sg m output)) members in
+      let rec all_pairs = function
+        | [] -> ()
+        | (m, v) :: rest ->
+          List.iter (fun (m', v') -> if v <> v' then pairs := (m, m') :: !pairs) rest;
+          all_pairs rest
+      in
+      all_pairs vals)
+    (code_classes sg);
+  List.sort compare !pairs
+
+let n_output_conflicts sg ~output = List.length (output_conflict_pairs sg ~output)
+
+let n_output_conflict_classes sg ~output =
+  List.length
+    (List.filter
+       (fun members ->
+         let implied m = Sg.implied_value sg m output in
+         List.exists implied members
+         && List.exists (fun m -> not (implied m)) members)
+       (code_classes sg))
+
+let visible_signature sg m =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun (s, d) ->
+      if Sg.non_input sg s then
+        Buffer.add_string buf
+          (Printf.sprintf "%d%c;" s (match d with Sg.R -> '+' | Sg.F -> '-')))
+    (Sg.excited_events sg m);
+  Buffer.contents buf
+
+let orphan_conflict_pairs sg =
+  List.filter
+    (fun (m, m') -> visible_signature sg m = visible_signature sg m')
+    (conflict_pairs sg)
+
+let max_usc sg =
+  List.fold_left (fun acc c -> max acc (List.length c)) 1 (code_classes sg)
+
+let lower_bound sg =
+  let k = max_usc sg in
+  let rec bits m acc = if m >= k then acc else bits (m * 2) (acc + 1) in
+  if k <= 1 then 0 else bits 1 0
+
+let csc_satisfied sg = conflict_pairs sg = []
+let usc_satisfied sg = code_classes sg = []
+
+let pp_summary ppf sg =
+  Format.fprintf ppf
+    "%s: %d states, %d same-code classes (max %d), %d CSC conflict pairs"
+    (Sg.name sg) (Sg.n_states sg)
+    (List.length (code_classes sg))
+    (max_usc sg) (n_conflicts sg)

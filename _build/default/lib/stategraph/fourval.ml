@@ -1,0 +1,38 @@
+type t = V0 | V1 | Up | Dn
+
+let equal (a : t) b = a = b
+let binary = function V0 | Up -> false | V1 | Dn -> true
+let excited = function Up | Dn -> true | V0 | V1 -> false
+
+let edge_ok a b =
+  match (a, b) with
+  | V0, V0 | V1, V1 | Up, Up | Dn, Dn -> true
+  | V0, Up | Up, V1 | V1, Dn | Dn, V0 -> true
+  | V0, (V1 | Dn) | V1, (V0 | Up) | Up, (V0 | Dn) | Dn, (V1 | Up) -> false
+
+let merge vs =
+  match vs with
+  | [] -> None
+  | v :: _ ->
+    let has x = List.exists (equal x) vs in
+    if has Up && has Dn then None
+    else if has Up then Some Up
+    else if has Dn then Some Dn
+    else if has V0 && has V1 then None
+    else Some v
+
+let of_bits ~a ~b =
+  match (a, b) with
+  | false, false -> V0
+  | false, true -> V1
+  | true, false -> Up
+  | true, true -> Dn
+
+let to_bits = function
+  | V0 -> (false, false)
+  | V1 -> (false, true)
+  | Up -> (true, false)
+  | Dn -> (true, true)
+
+let to_string = function V0 -> "0" | V1 -> "1" | Up -> "Up" | Dn -> "Dn"
+let pp ppf v = Format.fprintf ppf "%s" (to_string v)

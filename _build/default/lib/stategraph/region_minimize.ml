@@ -1,0 +1,99 @@
+(* A flip changes only the flipped state's full code and excitation
+   signature, so the global conflict count moves exactly by the change in
+   conflicts involving that state.  We therefore keep per-state codes and
+   signatures incrementally and never rebuild the graph inside the loop;
+   the graph is reconstructed once per extra at the end. *)
+
+let stable_candidates = function
+  | Fourval.Up -> [ Fourval.V1; Fourval.V0 ]
+  | Fourval.Dn -> [ Fourval.V0; Fourval.V1 ]
+  | Fourval.V0 | Fourval.V1 -> []
+
+let minimize_extra sg ~index =
+  let n = Sg.n_states sg in
+  let x = (Sg.extras sg).(index) in
+  let values = Array.copy x.Sg.values in
+  let bitpos = Sg.n_signals sg + index in
+  (* Signature of a state: base non-input excitation is constant; the
+     extras part depends on [values] for our extra and is fixed for the
+     others.  We build "sig = base ^ other-extras ^ own-part" with the own
+     part recomputed on flips. *)
+  let base_sig = Array.make n "" in
+  for m = 0 to n - 1 do
+    let buf = Buffer.create 16 in
+    List.iter
+      (fun (s, d) ->
+        if Sg.non_input sg s then
+          Buffer.add_string buf
+            (Printf.sprintf "%d%c;" s (match d with Sg.R -> '+' | Sg.F -> '-')))
+      (Sg.excited_events sg m);
+    Array.iteri
+      (fun i (y : Sg.extra) ->
+        if i <> index then
+          match y.Sg.values.(m) with
+          | Fourval.Up -> Buffer.add_string buf (Printf.sprintf "x%d+;" i)
+          | Fourval.Dn -> Buffer.add_string buf (Printf.sprintf "x%d-;" i)
+          | Fourval.V0 | Fourval.V1 -> ())
+      (Sg.extras sg);
+    base_sig.(m) <- Buffer.contents buf
+  done;
+  let own_part m =
+    match values.(m) with
+    | Fourval.Up -> "own+"
+    | Fourval.Dn -> "own-"
+    | Fourval.V0 | Fourval.V1 -> ""
+  in
+  let code = Array.init n (Sg.full_code sg) in
+  let sigs = Array.init n (fun m -> base_sig.(m) ^ own_part m) in
+  (* A flip is admissible only when it creates no conflict pair that did
+     not already exist — merely trading one conflict for another would
+     leak unresolved pairs past the modules responsible for them. *)
+  let no_new_conflicts m old_c old_s new_c new_s =
+    let ok = ref true in
+    for m' = 0 to n - 1 do
+      if m' <> m then begin
+        let before = code.(m') = old_c && sigs.(m') <> old_s in
+        let after = code.(m') = new_c && sigs.(m') <> new_s in
+        if after && not before then ok := false
+      end
+    done;
+    !ok
+  in
+  let edges_ok m v =
+    List.for_all
+      (fun e -> Fourval.edge_ok v values.(e.Sg.dst))
+      (Sg.succ sg m)
+    && List.for_all
+         (fun e -> Fourval.edge_ok values.(e.Sg.src) v)
+         (Sg.pred sg m)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for m = 0 to n - 1 do
+      List.iter
+        (fun v ->
+          if Fourval.excited values.(m) && edges_ok m v then begin
+            let new_code =
+              if Fourval.binary v then code.(m) lor (1 lsl bitpos)
+              else code.(m) land lnot (1 lsl bitpos)
+            in
+            let new_sig = base_sig.(m) (* stable: own part empty *) in
+            if no_new_conflicts m code.(m) sigs.(m) new_code new_sig then begin
+              values.(m) <- v;
+              code.(m) <- new_code;
+              sigs.(m) <- new_sig;
+              changed := true
+            end
+          end)
+        (stable_candidates values.(m))
+    done
+  done;
+  Sg.set_extra_values sg ~index ~values
+
+let minimize sg =
+  let out = ref sg in
+  for index = 0 to Sg.n_extras sg - 1 do
+    out := minimize_extra !out ~index
+  done;
+  !out

@@ -1,0 +1,466 @@
+type edge_dir = R | F
+type label = Ev of int * edge_dir | Eps
+type edge = { src : int; label : label; dst : int }
+type signal_info = { sname : string; non_input : bool }
+type extra = { xname : string; values : Fourval.t array }
+
+type t = {
+  name : string;
+  signals : signal_info array;
+  codes : int array;
+  edges : edge array;
+  succ : int list array; (* outgoing edge indices per state *)
+  pred : int list array;
+  extras : extra array;
+  initial : int;
+}
+
+exception Inconsistent of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Inconsistent s)) fmt
+
+let index_edges n_states edges =
+  let succ = Array.make n_states [] and pred = Array.make n_states [] in
+  Array.iteri
+    (fun i e ->
+      succ.(e.src) <- i :: succ.(e.src);
+      pred.(e.dst) <- i :: pred.(e.dst))
+    edges;
+  Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
+  Array.iteri (fun i l -> pred.(i) <- List.rev l) pred;
+  (succ, pred)
+
+let check_edge_codes signals codes e =
+  let bit c s = c land (1 lsl s) <> 0 in
+  match e.label with
+  | Eps ->
+    if codes.(e.src) <> codes.(e.dst) then
+      fail "ε edge %d->%d changes the state code" e.src e.dst
+  | Ev (s, d) ->
+    if s < 0 || s >= Array.length signals then
+      fail "edge %d->%d fires unknown signal %d" e.src e.dst s;
+    let want_src, want_dst = match d with R -> (false, true) | F -> (true, false) in
+    if bit codes.(e.src) s <> want_src || bit codes.(e.dst) s <> want_dst then
+      fail "edge %d->%d violates consistency on signal %s" e.src e.dst
+        signals.(s).sname;
+    if codes.(e.src) lxor codes.(e.dst) <> 1 lsl s then
+      fail "edge %d->%d changes signals other than %s" e.src e.dst
+        signals.(s).sname
+
+let make ~name ~signals ~codes ~edges ~initial =
+  let n = Array.length codes in
+  if Array.length signals > 62 then fail "more than 62 visible signals";
+  if n = 0 then fail "state graph with no states";
+  if initial < 0 || initial >= n then fail "initial state out of range";
+  List.iter
+    (fun e ->
+      if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then
+        fail "edge endpoint out of range";
+      check_edge_codes signals codes e)
+    edges;
+  let edges = Array.of_list edges in
+  let succ, pred = index_edges n edges in
+  { name; signals; codes; edges; succ; pred; extras = [||]; initial }
+
+let name sg = sg.name
+let n_states sg = Array.length sg.codes
+let n_signals sg = Array.length sg.signals
+let n_edges sg = Array.length sg.edges
+let initial sg = sg.initial
+let signal_name sg s = sg.signals.(s).sname
+let non_input sg s = sg.signals.(s).non_input
+
+let find_signal sg n =
+  let rec go i =
+    if i >= Array.length sg.signals then raise Not_found
+    else if sg.signals.(i).sname = n then i
+    else go (i + 1)
+  in
+  go 0
+
+let code sg m = sg.codes.(m)
+let bit sg m s = sg.codes.(m) land (1 lsl s) <> 0
+let edges sg = sg.edges
+let succ sg m = List.map (fun i -> sg.edges.(i)) sg.succ.(m)
+let pred sg m = List.map (fun i -> sg.edges.(i)) sg.pred.(m)
+let extras sg = sg.extras
+let n_extras sg = Array.length sg.extras
+
+let add_extra sg ~name ~values =
+  if Array.length values <> n_states sg then
+    fail "extra %s: %d values for %d states" name (Array.length values)
+      (n_states sg);
+  Array.iter
+    (fun e ->
+      if not (Fourval.edge_ok values.(e.src) values.(e.dst)) then
+        fail "extra %s: illegal value pair %s -> %s on edge %d->%d" name
+          (Fourval.to_string values.(e.src))
+          (Fourval.to_string values.(e.dst))
+          e.src e.dst)
+    sg.edges;
+  if Array.exists (fun x -> x.xname = name) sg.extras then
+    fail "extra %s already present" name;
+  { sg with extras = Array.append sg.extras [| { xname = name; values } |] }
+
+let set_extra_values sg ~index ~values =
+  if index < 0 || index >= n_extras sg then
+    invalid_arg "Sg.set_extra_values: bad index";
+  let x = sg.extras.(index) in
+  if Array.length values <> n_states sg then
+    fail "extra %s: wrong number of values" x.xname;
+  Array.iter
+    (fun e ->
+      if not (Fourval.edge_ok values.(e.src) values.(e.dst)) then
+        fail "extra %s: illegal value pair on edge %d->%d" x.xname e.src e.dst)
+    sg.edges;
+  let extras = Array.copy sg.extras in
+  extras.(index) <- { x with values };
+  { sg with extras }
+
+let full_width sg = n_signals sg + n_extras sg
+
+let full_code sg m =
+  let c = ref sg.codes.(m) in
+  Array.iteri
+    (fun i x ->
+      if Fourval.binary x.values.(m) then c := !c lor (1 lsl (n_signals sg + i)))
+    sg.extras;
+  !c
+
+let excited_events sg m =
+  let evs =
+    List.filter_map
+      (fun e -> match e.label with Ev (s, d) -> Some (s, d) | Eps -> None)
+      (succ sg m)
+  in
+  List.sort_uniq compare evs
+
+let excitation_signature sg m =
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun (s, d) ->
+      if sg.signals.(s).non_input then
+        Buffer.add_string buf
+          (Printf.sprintf "%d%c;" s (match d with R -> '+' | F -> '-')))
+    (excited_events sg m);
+  Array.iteri
+    (fun i x ->
+      match x.values.(m) with
+      | Fourval.Up -> Buffer.add_string buf (Printf.sprintf "x%d+;" i)
+      | Fourval.Dn -> Buffer.add_string buf (Printf.sprintf "x%d-;" i)
+      | Fourval.V0 | Fourval.V1 -> ())
+    sg.extras;
+  Buffer.contents buf
+
+let implied_value sg m s =
+  let excited dir =
+    List.exists
+      (fun e ->
+        match e.label with Ev (s', d) -> s' = s && d = dir | Eps -> false)
+      (succ sg m)
+  in
+  if bit sg m s then not (excited F) else excited R
+
+(* ------------------------------------------------------------------ *)
+(* Quotient                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Uf = struct
+  let create n = Array.init n Fun.id
+
+  let rec find uf i =
+    if uf.(i) = i then i
+    else begin
+      let r = find uf uf.(i) in
+      uf.(i) <- r;
+      r
+    end
+
+  let union uf i j =
+    let ri = find uf i and rj = find uf j in
+    if ri <> rj then uf.(max ri rj) <- min ri rj
+end
+
+let quotient sg ~keep_signal ~keep_extra =
+  let n = n_states sg in
+  let uf = Uf.create n in
+  let hidden_edge e =
+    match e.label with
+    | Eps -> true
+    | Ev (s, _) -> not (keep_signal s)
+  in
+  Array.iter (fun e -> if hidden_edge e then Uf.union uf e.src e.dst) sg.edges;
+  (* Dense renumbering of classes, in order of first member. *)
+  let class_id = Array.make n (-1) in
+  let n_classes = ref 0 in
+  for m = 0 to n - 1 do
+    let r = Uf.find uf m in
+    if class_id.(r) < 0 then begin
+      class_id.(r) <- !n_classes;
+      incr n_classes
+    end
+  done;
+  let cls m = class_id.(Uf.find uf m) in
+  let nc = !n_classes in
+  (* Signal renumbering. *)
+  let kept_signals = ref [] in
+  for s = n_signals sg - 1 downto 0 do
+    if keep_signal s then kept_signals := s :: !kept_signals
+  done;
+  let kept_signals = Array.of_list !kept_signals in
+  let new_of_old = Array.make (n_signals sg) (-1) in
+  Array.iteri (fun nw old -> new_of_old.(old) <- nw) kept_signals;
+  let project_code c =
+    let out = ref 0 in
+    Array.iteri (fun nw old -> if c land (1 lsl old) <> 0 then out := !out lor (1 lsl nw)) kept_signals;
+    !out
+  in
+  let new_codes = Array.make nc 0 in
+  let seen = Array.make nc false in
+  for m = 0 to n - 1 do
+    let c = cls m in
+    let pc = project_code sg.codes.(m) in
+    if not seen.(c) then begin
+      new_codes.(c) <- pc;
+      seen.(c) <- true
+    end
+    else assert (new_codes.(c) = pc)
+  done;
+  (* Merge kept extras with the Figure-3 rules. *)
+  let exception Bad_merge in
+  try
+    let new_extras =
+      Array.of_list
+        (List.filter_map
+           (fun x ->
+             if not (keep_extra x.xname) then None
+             else begin
+               (* every ε'd edge must be a legal directed pair *)
+               Array.iter
+                 (fun e ->
+                   if hidden_edge e
+                      && not (Fourval.edge_ok x.values.(e.src) x.values.(e.dst))
+                   then raise Bad_merge)
+                 sg.edges;
+               let members = Array.make nc [] in
+               for m = n - 1 downto 0 do
+                 members.(cls m) <- x.values.(m) :: members.(cls m)
+               done;
+               let values =
+                 Array.map
+                   (fun vs ->
+                     match Fourval.merge vs with
+                     | Some v -> v
+                     | None -> raise Bad_merge)
+                   members
+               in
+               (* remaining cross-class edges must stay consistent *)
+               Array.iter
+                 (fun e ->
+                   if not (hidden_edge e)
+                      && not (Fourval.edge_ok values.(cls e.src) values.(cls e.dst))
+                   then raise Bad_merge)
+                 sg.edges;
+               Some { xname = x.xname; values }
+             end)
+           (Array.to_list sg.extras))
+    in
+    (* Deduplicated projected edges. *)
+    let edge_set = Hashtbl.create (Array.length sg.edges) in
+    let new_edges = ref [] in
+    Array.iter
+      (fun e ->
+        if not (hidden_edge e) then begin
+          let lbl =
+            match e.label with
+            | Ev (s, d) -> Ev (new_of_old.(s), d)
+            | Eps -> assert false
+          in
+          let key = (cls e.src, lbl, cls e.dst) in
+          if not (Hashtbl.mem edge_set key) then begin
+            Hashtbl.add edge_set key ();
+            new_edges := { src = cls e.src; label = lbl; dst = cls e.dst } :: !new_edges
+          end
+        end)
+      sg.edges;
+    let signals = Array.map (fun old -> sg.signals.(old)) kept_signals in
+    let base =
+      make ~name:sg.name ~signals ~codes:new_codes
+        ~edges:(List.rev !new_edges) ~initial:(cls sg.initial)
+    in
+    let merged = { base with extras = new_extras } in
+    let cover = Array.init n cls in
+    Some (merged, cover)
+  with Bad_merge -> None
+
+(* ------------------------------------------------------------------ *)
+(* Derivation from an STG                                              *)
+(* ------------------------------------------------------------------ *)
+
+type edge_kind = Krise | Kfall | Ktoggle | Ksilent
+
+let of_stg ?max_states stg =
+  let net = Stg.net stg in
+  let g = Reach.explore ?max_states net in
+  let n = Reach.n_states g in
+  let ns = Stg.n_signals stg in
+  (* kind of each reach edge w.r.t. each signal *)
+  let edge_info =
+    Array.map
+      (fun (src, t, dst) ->
+        let k =
+          match Stg.label stg t with
+          | Stg.Dummy -> (-1, Ksilent)
+          | Stg.Event e -> (
+            ( e.Signal.signal,
+              match e.Signal.dir with
+              | Signal.Rise -> Krise
+              | Signal.Fall -> Kfall
+              | Signal.Toggle -> Ktoggle ))
+        in
+        (src, dst, k))
+      g.Reach.edges
+  in
+  (* Solve the consistent state assignment, one signal at a time, by
+     propagating equality/flip constraints over the reachability graph. *)
+  let values = Array.make_matrix ns n (-1) in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun (src, dst, k) ->
+      adj.(src) <- (dst, k) :: adj.(src);
+      adj.(dst) <- (src, k) :: adj.(dst))
+    edge_info;
+  for s = 0 to ns - 1 do
+    let v = values.(s) in
+    let queue = Queue.create () in
+    let assign m x =
+      if v.(m) < 0 then begin
+        v.(m) <- x;
+        Queue.add m queue
+      end
+      else if v.(m) <> x then
+        fail "signal %s has no consistent value assignment (state %d)"
+          (Stg.signal_name stg s) m
+    in
+    (* Seed from rising/falling transitions of s. *)
+    Array.iter
+      (fun (src, dst, (sig_, k)) ->
+        if sig_ = s then
+          match k with
+          | Krise ->
+            assign src 0;
+            assign dst 1
+          | Kfall ->
+            assign src 1;
+            assign dst 0
+          | Ktoggle | Ksilent -> ())
+      edge_info;
+    let propagate () =
+      while not (Queue.is_empty queue) do
+        let m = Queue.take queue in
+        List.iter
+          (fun (m', (sig_, k)) ->
+            let flips = sig_ = s && k <> Ksilent in
+            let expect = if flips then 1 - v.(m) else v.(m) in
+            assign m' expect)
+          adj.(m)
+      done
+    in
+    propagate ();
+    (* Components never pinned by a rise/fall (e.g. pure-toggle signals):
+       anchor the lowest unassigned state at 0. *)
+    for m = 0 to n - 1 do
+      if v.(m) < 0 then begin
+        assign m 0;
+        propagate ()
+      end
+    done;
+    (* Final verification of directed edges. *)
+    Array.iter
+      (fun (src, dst, (sig_, k)) ->
+        let fine =
+          match (sig_ = s, k) with
+          | true, Krise -> v.(src) = 0 && v.(dst) = 1
+          | true, Kfall -> v.(src) = 1 && v.(dst) = 0
+          | true, Ktoggle -> v.(src) = 1 - v.(dst)
+          | true, Ksilent -> v.(src) = v.(dst)
+          | false, _ -> v.(src) = v.(dst)
+        in
+        if not fine then
+          fail "signal %s: inconsistent assignment across an edge"
+            (Stg.signal_name stg s))
+      edge_info
+  done;
+  let codes =
+    Array.init n (fun m ->
+        let c = ref 0 in
+        for s = 0 to ns - 1 do
+          if values.(s).(m) = 1 then c := !c lor (1 lsl s)
+        done;
+        !c)
+  in
+  let signals =
+    Array.init ns (fun s ->
+        {
+          sname = Stg.signal_name stg s;
+          non_input = Signal.non_input (Stg.kind stg s);
+        })
+  in
+  let edges =
+    Array.to_list
+      (Array.map
+         (fun (src, dst, (sig_, k)) ->
+           let label =
+             match k with
+             | Ksilent -> Eps
+             | Krise -> Ev (sig_, R)
+             | Kfall -> Ev (sig_, F)
+             | Ktoggle -> if values.(sig_).(src) = 0 then Ev (sig_, R) else Ev (sig_, F)
+           in
+           { src; label; dst })
+         edge_info)
+  in
+  let raw =
+    make ~name:(Stg.name stg) ~signals ~codes ~edges ~initial:0
+  in
+  match quotient raw ~keep_signal:(fun _ -> true) ~keep_extra:(fun _ -> true) with
+  | Some (merged, _) -> merged
+  | None -> assert false (* no extras: merging cannot fail *)
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_label sg ppf = function
+  | Eps -> Format.fprintf ppf "ε"
+  | Ev (s, R) -> Format.fprintf ppf "%s+" sg.signals.(s).sname
+  | Ev (s, F) -> Format.fprintf ppf "%s-" sg.signals.(s).sname
+
+let pp_state sg ppf m =
+  for s = 0 to n_signals sg - 1 do
+    Format.fprintf ppf "%c" (if bit sg m s then '1' else '0')
+  done;
+  Array.iter
+    (fun x -> Format.fprintf ppf "{%s}" (Fourval.to_string x.values.(m)))
+    sg.extras
+
+let pp ppf sg =
+  Format.fprintf ppf "state graph %s: %d states, %d edges, %d signals, %d extras"
+    sg.name (n_states sg) (n_edges sg) (n_signals sg) (n_extras sg)
+
+let to_dot sg =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" sg.name);
+  for m = 0 to n_states sg - 1 do
+    Buffer.add_string buf
+      (Format.asprintf "  s%d [label=\"%a\"%s];\n" m (pp_state sg) m
+         (if m = sg.initial then ",shape=doublecircle" else ""))
+  done;
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Format.asprintf "  s%d -> s%d [label=\"%a\"];\n" e.src e.dst
+           (pp_label sg) e.label))
+    sg.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,148 @@
+(** State graphs.
+
+    A state graph is the finite automaton of all reachable states of an
+    STG (paper §2): states carry a binary code over the visible signals
+    (the consistent state assignment), and edges are labelled with signal
+    transitions.  A state graph may additionally carry {e state signals}
+    ("extras"): synthesis-inserted signals that do not yet have explicit
+    transitions and instead assign one of {!Fourval.t} to every state.
+    {!Sg_expand} later turns extras into ordinary signals.
+
+    The module is deliberately independent of {!Stg}: projections and
+    expansions produce state graphs whose signal set no longer matches any
+    STG. Codes are stored as [int] bitmasks, so at most 62 visible signals
+    are supported (far beyond any published STG benchmark). *)
+
+type edge_dir = R | F
+
+(** Edge labels: a rising/falling transition of a visible signal, or a
+    silent ε step (dummy transitions, hidden signals).  Graphs returned by
+    {!of_stg} and {!quotient} contain no ε edges — they are merged away. *)
+type label = Ev of int * edge_dir | Eps
+
+type edge = { src : int; label : label; dst : int }
+type signal_info = { sname : string; non_input : bool }
+
+(** An inserted state signal: a 4-valued assignment to every state. *)
+type extra = { xname : string; values : Fourval.t array }
+
+type t
+
+exception Inconsistent of string
+(** Raised when an STG admits no consistent state assignment, or when a
+    constructed graph violates code consistency along an edge. *)
+
+(** {1 Construction} *)
+
+(** [make ~name ~signals ~codes ~edges ~initial] builds a state graph with
+    [Array.length codes] states.  Checks that edge endpoints are in range
+    and that codes are consistent along every edge ([Ev (s, R)] flips bit
+    [s] from 0 to 1, [Eps] preserves the code).
+    @raise Inconsistent on violation. *)
+val make :
+  name:string ->
+  signals:signal_info array ->
+  codes:int array ->
+  edges:edge list ->
+  initial:int ->
+  t
+
+(** [of_stg ?max_states stg] derives the state graph: explores the
+    reachability graph, computes the consistent state assignment (solving
+    toggle directions on the way), contracts dummy ε transitions, and
+    checks consistency.
+    @raise Inconsistent if no consistent assignment exists.
+    @raise Reach.Too_many_states if exploration exceeds the cap. *)
+val of_stg : ?max_states:int -> Stg.t -> t
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val n_states : t -> int
+val n_signals : t -> int
+val n_edges : t -> int
+val initial : t -> int
+val signal_name : t -> int -> string
+val non_input : t -> int -> bool
+
+(** [find_signal sg name] is the id of the visible signal called [name].
+    @raise Not_found when absent. *)
+val find_signal : t -> string -> int
+
+(** [code sg m] is the binary code of state [m] over visible signals only
+    (bit [s] = value of signal [s]). *)
+val code : t -> int -> int
+
+(** [bit sg m s] is the value of signal [s] in state [m]. *)
+val bit : t -> int -> int -> bool
+
+val edges : t -> edge array
+val succ : t -> int -> edge list
+val pred : t -> int -> edge list
+
+(** {1 State signals (extras)} *)
+
+val extras : t -> extra array
+val n_extras : t -> int
+
+(** [add_extra sg ~name ~values] attaches a new state signal.  Checks
+    {!Fourval.edge_ok} along every edge.
+    @raise Inconsistent on an illegal value pair. *)
+val add_extra : t -> name:string -> values:Fourval.t array -> t
+
+(** [set_extra_values sg ~index ~values] replaces the assignment of the
+    [index]-th extra, re-validating edge consistency.
+    @raise Inconsistent on an illegal value pair. *)
+val set_extra_values : t -> index:int -> values:Fourval.t array -> t
+
+(** [full_code sg m] is the code of [m] over visible signals and extras:
+    extras contribute bits above the visible ones, in extras order. *)
+val full_code : t -> int -> int
+
+(** [full_width sg] = visible signals + extras. *)
+val full_width : t -> int
+
+(** {1 Excitation}
+
+    An event is excited in a state when an outgoing edge fires it; an
+    extra is excited when its value there is [Up] or [Dn].  Excitation of
+    non-input signals is what CSC compares between equal-code states. *)
+
+(** [excited_events sg m] lists [(signal, dir)] for visible signals with an
+    outgoing transition at [m], sorted, deduplicated. *)
+val excited_events : t -> int -> (int * edge_dir) list
+
+(** [excitation_signature sg m] is a canonical key combining the excited
+    non-input visible events and the excited extras of [m]; equal-code
+    states with different signatures are CSC conflicts. *)
+val excitation_signature : t -> int -> string
+
+(** [implied_value sg m s] is the next value of signal [s] in state [m]:
+    1 when [s] is excited to rise or is 1 and not excited to fall.  This
+    is the value the logic function of [s] must produce in [m] (paper
+    §3.5); two equal-code states with different implied values of a
+    non-input signal are exactly the CSC conflicts that matter to that
+    signal's module. *)
+val implied_value : t -> int -> int -> bool
+
+(** {1 Quotient (ε-merging)} *)
+
+(** [quotient sg ~keep_signal ~keep_extra] hides every visible signal [s]
+    with [not (keep_signal s)] (its edges become ε) and drops every extra
+    [x] with [not (keep_extra x.xname)], then merges ε-connected states.
+    Kept extras are merged with the Figure-3 rules.  Returns the merged
+    graph and the cover map (old state → merged state), or [None] when
+    some kept extra cannot be merged consistently (the paper's condition
+    for a signal that cannot be removed). *)
+val quotient :
+  t -> keep_signal:(int -> bool) -> keep_extra:(string -> bool) ->
+  (t * int array) option
+
+(** {1 Output} *)
+
+val pp_state : t -> Format.formatter -> int -> unit
+val pp_label : t -> Format.formatter -> label -> unit
+val pp : Format.formatter -> t -> unit
+
+(** [to_dot sg] renders the graph in Graphviz dot syntax. *)
+val to_dot : t -> string

@@ -1,0 +1,18 @@
+(** State-graph expansion: realising state signals as ordinary signals.
+
+    Once a state signal has a consistent 4-valued assignment, it is made
+    real by inserting its transitions into the state graph (paper §3.5):
+    a state valued [Up] splits into a bit-0 and a bit-1 half joined by an
+    [n+] edge (dually for [Dn]); stable states keep a single copy.  Edges
+    are re-routed according to the legal value pairs, with concurrent
+    diamonds for [Up→Up] / [Dn→Dn] edges (semi-modularity).  The final
+    state counts reported in Table 1 come from this step. *)
+
+(** [expand_one sg] realises the {e first} extra of [sg] as a new visible
+    internal signal (appended after the existing signals) and returns the
+    rewritten graph, whose extras are the remaining ones.
+    @raise Invalid_argument if [sg] has no extras. *)
+val expand_one : Sg.t -> Sg.t
+
+(** [expand sg] realises all extras, first to last. *)
+val expand : Sg.t -> Sg.t

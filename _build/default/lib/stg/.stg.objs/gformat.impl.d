@@ -1,0 +1,1 @@
+lib/stg/gformat.ml: Array Buffer Format Fun Hashtbl List Marking Petri Printf Signal Stg String

@@ -1,0 +1,1 @@
+lib/stg/signal.mli: Format

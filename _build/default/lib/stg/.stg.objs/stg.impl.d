@@ -1,0 +1,1 @@
+lib/stg/stg.ml: Array Format Hashtbl Int List Marking Petri Reach Signal

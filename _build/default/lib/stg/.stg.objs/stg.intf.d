@@ -1,0 +1,1 @@
+lib/stg/stg.mli: Format Marking Petri Signal

@@ -1,0 +1,1 @@
+lib/stg/stg_builder.ml: Array Hashtbl List Petri Printf Signal Stg

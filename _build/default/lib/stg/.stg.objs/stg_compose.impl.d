@@ -1,0 +1,1 @@
+lib/stg/stg_compose.ml: Array Hashtbl List Marking Petri Printf Signal Stg

@@ -1,0 +1,374 @@
+exception Parse_error of string
+
+let fail line fmt =
+  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokens                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A transition token is a signal event with an instance index
+   ("a+", "b-/2"), or a dummy name with an instance index ("d0", "d0/2").
+   Anything else in the graph section is an explicit place name. *)
+type ttoken = { base : string; inst : int }
+
+let split_instance tok =
+  match String.rindex_opt tok '/' with
+  | None -> (tok, 1)
+  | Some i -> (
+    let base = String.sub tok 0 i in
+    let num = String.sub tok (i + 1) (String.length tok - i - 1) in
+    match int_of_string_opt num with
+    | Some k when k >= 1 -> (base, k)
+    | _ -> (tok, 1))
+
+let event_of_base base =
+  let n = String.length base in
+  if n < 2 then None
+  else
+    let sig_name = String.sub base 0 (n - 1) in
+    match base.[n - 1] with
+    | '+' -> Some (sig_name, Signal.Rise)
+    | '-' -> Some (sig_name, Signal.Fall)
+    | '~' -> Some (sig_name, Signal.Toggle)
+    | _ -> None
+
+let ttoken_name { base; inst } =
+  if inst = 1 then base else Printf.sprintf "%s/%d" base inst
+
+(* ------------------------------------------------------------------ *)
+(* Line splitting                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type raw = {
+  mutable model : string option;
+  mutable sig_inputs : string list;
+  mutable sig_outputs : string list;
+  mutable sig_internal : string list;
+  mutable dummies : string list;
+  mutable graph : (int * string list) list; (* line number, tokens; reversed *)
+  mutable marking : (int * string list) option;
+}
+
+let parse_sections src =
+  let raw =
+    {
+      model = None;
+      sig_inputs = [];
+      sig_outputs = [];
+      sig_internal = [];
+      dummies = [];
+      graph = [];
+      marking = None;
+    }
+  in
+  let in_graph = ref false in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim (strip_comment line) in
+      if line <> "" then
+        match words line with
+        | [] -> ()
+        | w :: rest when String.length w > 0 && w.[0] = '.' -> (
+          in_graph := false;
+          match w with
+          | ".model" | ".name" -> (
+            match rest with
+            | [ m ] -> raw.model <- Some m
+            | _ -> fail lineno "expected one model name")
+          | ".inputs" -> raw.sig_inputs <- raw.sig_inputs @ rest
+          | ".outputs" -> raw.sig_outputs <- raw.sig_outputs @ rest
+          | ".internal" -> raw.sig_internal <- raw.sig_internal @ rest
+          | ".dummy" -> raw.dummies <- raw.dummies @ rest
+          | ".graph" -> in_graph := true
+          | ".marking" -> raw.marking <- Some (lineno, rest)
+          | ".capacity" | ".slowenv" | ".initial" -> ()
+          | ".end" -> ()
+          | other -> fail lineno "unknown directive %s" other)
+        | tokens ->
+          if !in_graph then raw.graph <- (lineno, tokens) :: raw.graph
+          else fail lineno "unexpected text outside .graph section")
+    lines;
+  raw.graph <- List.rev raw.graph;
+  raw
+
+type noderef = T of ttoken | P of string
+
+let parse_string ?name src =
+  let raw = parse_sections src in
+  let signal_list =
+    List.map (fun n -> (n, Signal.Input)) raw.sig_inputs
+    @ List.map (fun n -> (n, Signal.Output)) raw.sig_outputs
+    @ List.map (fun n -> (n, Signal.Internal)) raw.sig_internal
+  in
+  let signal_names = Array.of_list (List.map fst signal_list) in
+  let kinds = Array.of_list (List.map snd signal_list) in
+  let sig_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i n ->
+      if Hashtbl.mem sig_index n then
+        raise (Parse_error (Printf.sprintf "signal %s declared twice" n));
+      Hashtbl.add sig_index n i)
+    signal_names;
+  let dummy_set = Hashtbl.create 8 in
+  List.iter (fun d -> Hashtbl.replace dummy_set d ()) raw.dummies;
+  let classify lineno tok =
+    let base, inst = split_instance tok in
+    match event_of_base base with
+    | Some (sig_name, _dir) -> (
+      match Hashtbl.find_opt sig_index sig_name with
+      | Some _ -> T { base; inst }
+      | None -> fail lineno "event %s names undeclared signal %s" tok sig_name)
+    | None -> if Hashtbl.mem dummy_set base then T { base; inst } else P tok
+  in
+  (* First pass: intern transitions, explicit places, implicit places. *)
+  let b = Petri.Builder.create () in
+  let trans_ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let trans_labels = ref [] (* reversed: label per id *) in
+  let intern_trans tk =
+    let key = ttoken_name tk in
+    match Hashtbl.find_opt trans_ids key with
+    | Some id -> id
+    | None ->
+      let id = Petri.Builder.add_transition b ~name:key in
+      Hashtbl.add trans_ids key id;
+      let lbl =
+        match event_of_base tk.base with
+        | Some (sig_name, dir) ->
+          Stg.Event { Signal.signal = Hashtbl.find sig_index sig_name; dir }
+        | None -> Stg.Dummy
+      in
+      trans_labels := lbl :: !trans_labels;
+      id
+  in
+  (* Markings must be known before places are created, so parse them now. *)
+  let marked_explicit = Hashtbl.create 8 in
+  let marked_implicit = Hashtbl.create 8 in
+  (match raw.marking with
+  | None -> ()
+  | Some (lineno, toks) ->
+    let text = String.concat " " toks in
+    let text =
+      let strip c s = String.concat "" (String.split_on_char c s) in
+      strip '{' (strip '}' text)
+    in
+    (* Entries: "pname" or "<a+,b+>"; commas only appear inside <..>. *)
+    let buf = Buffer.create 16 in
+    let entries = ref [] in
+    let depth = ref 0 in
+    String.iter
+      (fun c ->
+        match c with
+        | '<' ->
+          incr depth;
+          Buffer.add_char buf c
+        | '>' ->
+          decr depth;
+          Buffer.add_char buf c
+        | ' ' | '\t' when !depth = 0 ->
+          if Buffer.length buf > 0 then begin
+            entries := Buffer.contents buf :: !entries;
+            Buffer.clear buf
+          end
+        | c -> Buffer.add_char buf c)
+      text;
+    if Buffer.length buf > 0 then entries := Buffer.contents buf :: !entries;
+    List.iter
+      (fun entry ->
+        let n = String.length entry in
+        if n >= 2 && entry.[0] = '<' && entry.[n - 1] = '>' then begin
+          let inner = String.sub entry 1 (n - 2) in
+          match String.split_on_char ',' inner with
+          | [ a; d ] ->
+            let ta, tb = (String.trim a, String.trim d) in
+            Hashtbl.replace marked_implicit (ta, tb) ()
+          | _ -> fail lineno "malformed implicit place %s" entry
+        end
+        else Hashtbl.replace marked_explicit entry ())
+      !entries);
+  let canon lineno tok =
+    match classify lineno tok with
+    | T tk -> ttoken_name tk
+    | P _ -> tok
+  in
+  (* Normalize implicit marking keys (e.g. "a+/1" -> "a+"). *)
+  let implicit_marked (s, d) =
+    Hashtbl.fold
+      (fun (a, bb) () acc -> acc || (canon 0 a = s && canon 0 bb = d))
+      marked_implicit false
+  in
+  let place_ids : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let intern_place name =
+    match Hashtbl.find_opt place_ids name with
+    | Some id -> id
+    | None ->
+      let tokens = if Hashtbl.mem marked_explicit name then 1 else 0 in
+      let id = Petri.Builder.add_place b ~name ~tokens in
+      Hashtbl.add place_ids name id;
+      id
+  in
+  let implicit_place_ids : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let intern_implicit src dst =
+    match Hashtbl.find_opt implicit_place_ids (src, dst) with
+    | Some id -> id
+    | None ->
+      let tokens = if implicit_marked (src, dst) then 1 else 0 in
+      let id =
+        Petri.Builder.add_place b ~name:(Printf.sprintf "<%s,%s>" src dst)
+          ~tokens
+      in
+      Hashtbl.add implicit_place_ids (src, dst) id;
+      id
+  in
+  (* Second pass: build arcs. *)
+  List.iter
+    (fun (lineno, tokens) ->
+      match tokens with
+      | [] -> ()
+      | src :: dsts ->
+        if dsts = [] then fail lineno "arc line needs at least one target";
+        let src_ref = classify lineno src in
+        (match src_ref with
+        | T tk -> ignore (intern_trans tk)
+        | P p -> ignore (intern_place p));
+        List.iter
+          (fun dst ->
+            let dst_ref = classify lineno dst in
+            match (src_ref, dst_ref) with
+            | T a, T d ->
+              let ta = intern_trans a and td = intern_trans d in
+              let p = intern_implicit (ttoken_name a) (ttoken_name d) in
+              Petri.Builder.arc_tp b ta p;
+              Petri.Builder.arc_pt b p td
+            | T a, P p ->
+              let ta = intern_trans a and pp = intern_place p in
+              Petri.Builder.arc_tp b ta pp
+            | P p, T d ->
+              let pp = intern_place p and td = intern_trans d in
+              Petri.Builder.arc_pt b pp td
+            | P _, P _ -> fail lineno "arc between two places is not allowed")
+          dsts)
+    raw.graph;
+  let net = Petri.Builder.build b in
+  let labels = Array.of_list (List.rev !trans_labels) in
+  let model =
+    match (name, raw.model) with
+    | Some n, _ -> n
+    | None, Some m -> m
+    | None, None -> "stg"
+  in
+  Stg.make ~net ~labels ~signal_names ~kinds ~name:model
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  try parse_string src
+  with Parse_error msg -> raise (Parse_error (path ^ ": " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let to_string stg =
+  let buf = Buffer.create 1024 in
+  let net = Stg.net stg in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr ".model %s\n" (Stg.name stg);
+  let dump_signals directive kind =
+    match Stg.signals_of_kind stg kind with
+    | [] -> ()
+    | ss ->
+      pr "%s" directive;
+      List.iter (fun s -> pr " %s" (Stg.signal_name stg s)) ss;
+      pr "\n"
+  in
+  dump_signals ".inputs" Signal.Input;
+  dump_signals ".outputs" Signal.Output;
+  dump_signals ".internal" Signal.Internal;
+  let dummies =
+    List.filter
+      (fun t -> Stg.label stg t = Stg.Dummy)
+      (List.init (Petri.n_transitions net) Fun.id)
+  in
+  (match dummies with
+  | [] -> ()
+  | ds ->
+    pr ".dummy";
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun t ->
+        let base, _ = split_instance (Petri.transition_name net t) in
+        if not (Hashtbl.mem seen base) then begin
+          Hashtbl.add seen base ();
+          pr " %s" base
+        end)
+      ds;
+    pr "\n");
+  pr ".graph\n";
+  let is_implicit p =
+    let n = Petri.place_name net p in
+    String.length n > 0
+    && n.[0] = '<'
+    && List.length (Petri.place_pre net p) = 1
+    && List.length (Petri.place_post net p) = 1
+  in
+  for t = 0 to Petri.n_transitions net - 1 do
+    let targets = ref [] in
+    List.iter
+      (fun p ->
+        if is_implicit p then
+          List.iter
+            (fun t' -> targets := Petri.transition_name net t' :: !targets)
+            (Petri.place_post net p))
+      (Petri.post net t);
+    (match List.rev !targets with
+    | [] -> ()
+    | ts -> pr "%s %s\n" (Petri.transition_name net t) (String.concat " " ts));
+    (* arcs into explicit places *)
+    List.iter
+      (fun p ->
+        if not (is_implicit p) then
+          pr "%s %s\n" (Petri.transition_name net t) (Petri.place_name net p))
+      (Petri.post net t)
+  done;
+  for p = 0 to Petri.n_places net - 1 do
+    if not (is_implicit p) then
+      match Petri.place_post net p with
+      | [] -> ()
+      | consumers ->
+        pr "%s %s\n" (Petri.place_name net p)
+          (String.concat " "
+             (List.map (Petri.transition_name net) consumers))
+  done;
+  let initial = Petri.initial_marking net in
+  let entries = ref [] in
+  for p = Petri.n_places net - 1 downto 0 do
+    if Marking.tokens initial p > 0 then
+      entries := Petri.place_name net p :: !entries
+  done;
+  if !entries <> [] then pr ".marking { %s }\n" (String.concat " " !entries);
+  pr ".end\n";
+  Buffer.contents buf
+
+let write_file path stg =
+  let oc = open_out path in
+  output_string oc (to_string stg);
+  close_out oc

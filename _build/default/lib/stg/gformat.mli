@@ -1,0 +1,39 @@
+(** Reader and writer for the astg [.g] STG interchange format.
+
+    The format is the one used by SIS / petrify / workcraft:
+
+    {v
+    .model nak-pa
+    .inputs req ack
+    .outputs done
+    .internal x
+    .dummy d0
+    .graph
+    req+ x+          # arc through an implicit place
+    x+ done+/1       # transition instances with /k
+    p0 req+          # explicit places are bare identifiers
+    done+/1 p0
+    .marking { p0 <req+,x+> }
+    .end
+    v}
+
+    Arcs between two transitions go through an implicit place, named
+    [<src,dst>] in markings.  [#] starts a comment. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message (including a line number) on
+    malformed input. *)
+
+(** [parse_string ?name src] parses the [.g] text [src].  [name] overrides
+    the [.model] name. *)
+val parse_string : ?name:string -> string -> Stg.t
+
+(** [parse_file path] reads and parses [path]. *)
+val parse_file : string -> Stg.t
+
+(** [to_string stg] renders the STG back to [.g] syntax; the result
+    re-parses to an isomorphic STG. *)
+val to_string : Stg.t -> string
+
+(** [write_file path stg] writes [to_string stg] to [path]. *)
+val write_file : string -> Stg.t -> unit

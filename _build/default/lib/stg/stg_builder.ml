@@ -1,0 +1,134 @@
+type proc =
+  | Ev of string * Signal.dir
+  | Seq of proc list
+  | Par of proc list
+  | Choice of proc list
+  | Nop
+
+let ev s d = Ev (s, d)
+let plus s = Ev (s, Signal.Rise)
+let minus s = Ev (s, Signal.Fall)
+let tilde s = Ev (s, Signal.Toggle)
+let seq ps = Seq ps
+let par ps = Par ps
+let choice ps = Choice ps
+let nop = Nop
+
+let rec signals_of acc = function
+  | Ev (s, _) -> if List.mem s acc then acc else s :: acc
+  | Seq ps | Par ps | Choice ps -> List.fold_left signals_of acc ps
+  | Nop -> acc
+
+let compile ~name ~inputs ~outputs ?(internal = []) proc =
+  let declared = inputs @ outputs @ internal in
+  let dup =
+    let seen = Hashtbl.create 8 in
+    List.find_opt
+      (fun s ->
+        if Hashtbl.mem seen s then true
+        else begin
+          Hashtbl.add seen s ();
+          false
+        end)
+      declared
+  in
+  (match dup with
+  | Some s -> invalid_arg (Printf.sprintf "Stg_builder: signal %s declared twice" s)
+  | None -> ());
+  List.iter
+    (fun s ->
+      if not (List.mem s declared) then
+        invalid_arg (Printf.sprintf "Stg_builder: signal %s not declared" s))
+    (signals_of [] proc);
+  let signal_names = Array.of_list declared in
+  let kinds =
+    Array.of_list
+      (List.map (fun _ -> Signal.Input) inputs
+      @ List.map (fun _ -> Signal.Output) outputs
+      @ List.map (fun _ -> Signal.Internal) internal)
+  in
+  let sig_index = Hashtbl.create 16 in
+  Array.iteri (fun i s -> Hashtbl.add sig_index s i) signal_names;
+  let b = Petri.Builder.create () in
+  let labels = ref [] (* reversed *) in
+  let n_trans = ref 0 in
+  let instances : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let fresh_trans base lbl =
+    let inst =
+      match Hashtbl.find_opt instances base with
+      | None ->
+        Hashtbl.add instances base 1;
+        1
+      | Some k ->
+        Hashtbl.replace instances base (k + 1);
+        k + 1
+    in
+    let tname = if inst = 1 then base else Printf.sprintf "%s/%d" base inst in
+    let t = Petri.Builder.add_transition b ~name:tname in
+    labels := lbl :: !labels;
+    incr n_trans;
+    t
+  in
+  let n_places = ref 0 in
+  let fresh_place ?(tokens = 0) () =
+    let p =
+      Petri.Builder.add_place b ~name:(Printf.sprintf "p%d" !n_places) ~tokens
+    in
+    incr n_places;
+    p
+  in
+  let rec compile_proc proc ~entry ~exit =
+    match proc with
+    | Ev (s, d) ->
+      let sid = Hashtbl.find sig_index s in
+      let base = s ^ Signal.dir_suffix d in
+      let t = fresh_trans base (Stg.Event { Signal.signal = sid; dir = d }) in
+      Petri.Builder.arc_pt b entry t;
+      Petri.Builder.arc_tp b t exit
+    | Nop ->
+      let t = fresh_trans "eps" Stg.Dummy in
+      Petri.Builder.arc_pt b entry t;
+      Petri.Builder.arc_tp b t exit
+    | Seq [] -> compile_proc Nop ~entry ~exit
+    | Seq [ p ] -> compile_proc p ~entry ~exit
+    | Seq (p :: rest) ->
+      let mid = fresh_place () in
+      compile_proc p ~entry ~exit:mid;
+      compile_proc (Seq rest) ~entry:mid ~exit
+    | Par [] -> compile_proc Nop ~entry ~exit
+    | Par [ p ] -> compile_proc p ~entry ~exit
+    | Par ps ->
+      let fork = fresh_trans "fork" Stg.Dummy in
+      let join = fresh_trans "join" Stg.Dummy in
+      Petri.Builder.arc_pt b entry fork;
+      Petri.Builder.arc_tp b join exit;
+      List.iter
+        (fun p ->
+          let e = fresh_place () and x = fresh_place () in
+          Petri.Builder.arc_tp b fork e;
+          Petri.Builder.arc_pt b x join;
+          compile_proc p ~entry:e ~exit:x)
+        ps
+    | Choice [] -> compile_proc Nop ~entry ~exit
+    | Choice [ p ] -> compile_proc p ~entry ~exit
+    | Choice ps ->
+      (* Free choice: every branch must begin with its own transition
+         consuming only [entry].  Branches that begin with anything other
+         than a single event are fronted by a dummy. *)
+      List.iter
+        (fun p ->
+          match p with
+          | Ev _ -> compile_proc p ~entry ~exit
+          | _ ->
+            let d = fresh_trans "pick" Stg.Dummy in
+            let e = fresh_place () in
+            Petri.Builder.arc_pt b entry d;
+            Petri.Builder.arc_tp b d e;
+            compile_proc p ~entry:e ~exit)
+        ps
+  in
+  let home = fresh_place ~tokens:1 () in
+  compile_proc proc ~entry:home ~exit:home;
+  let net = Petri.Builder.build b in
+  Stg.make ~net ~labels:(Array.of_list (List.rev !labels)) ~signal_names ~kinds
+    ~name

@@ -1,0 +1,49 @@
+(** Combinators for building live, safe STGs programmatically.
+
+    A process term describes one cyclic behaviour; compiling it yields a
+    1-safe Petri net whose reachability graph is the intended state space.
+    Fork/join and choice plumbing is realised with dummy (ε) transitions,
+    which the state-graph derivation silently contracts.
+
+    {v
+    let proc = seq [ plus "req"; par [ seq [plus "a1"; minus "a1"] ;
+                                       seq [plus "a2"; minus "a2"] ];
+                     minus "req" ]
+    let stg  = compile ~name:"fork" ~inputs:["req"] ~outputs:["a1";"a2"] proc
+    v} *)
+
+type proc
+
+(** [ev name dir] is a single signal transition. *)
+val ev : string -> Signal.dir -> proc
+
+(** [plus s] = [ev s Rise], [minus s] = [ev s Fall], [tilde s] = toggle. *)
+val plus : string -> proc
+
+val minus : string -> proc
+val tilde : string -> proc
+
+(** [seq ps] runs [ps] in sequence. [seq []] is {!nop}. *)
+val seq : proc list -> proc
+
+(** [par ps] forks into the branches of [ps] and joins when all finish.
+    Uses dummy fork/join transitions. *)
+val par : proc list -> proc
+
+(** [choice ps] picks exactly one branch (free choice). *)
+val choice : proc list -> proc
+
+(** [nop] does nothing (compiled as a dummy transition). *)
+val nop : proc
+
+(** [compile ~name ~inputs ~outputs ?internal proc] builds the STG whose
+    behaviour is [proc] repeated forever.  Every signal occurring in
+    [proc] must be declared in exactly one of the three lists.
+    Raises [Invalid_argument] on undeclared or doubly-declared signals. *)
+val compile :
+  name:string ->
+  inputs:string list ->
+  outputs:string list ->
+  ?internal:string list ->
+  proc ->
+  Stg.t

@@ -1,0 +1,104 @@
+let rebuild ~name ~signal_names ~kinds stg =
+  Stg.make ~net:(Stg.net stg)
+    ~labels:(Array.init (Petri.n_transitions (Stg.net stg)) (Stg.label stg))
+    ~signal_names ~kinds ~name
+
+let rename stg f =
+  let names = Array.map f (Stg.signal_names stg) in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Stg_compose.rename: collision on %s" n);
+      Hashtbl.add seen n ())
+    names;
+  let kinds = Array.init (Stg.n_signals stg) (Stg.kind stg) in
+  rebuild ~name:(Stg.name stg) ~signal_names:names ~kinds stg
+
+let prefix stg p = rename stg (fun n -> p ^ n)
+
+let mirror stg =
+  let kinds =
+    Array.init (Stg.n_signals stg) (fun s ->
+        match Stg.kind stg s with
+        | Signal.Input -> Signal.Output
+        | Signal.Output -> Signal.Input
+        | Signal.Internal -> Signal.Internal)
+  in
+  rebuild
+    ~name:(Stg.name stg ^ "-mirror")
+    ~signal_names:(Array.copy (Stg.signal_names stg))
+    ~kinds stg
+
+let hide stg ~signals =
+  let kinds = Array.init (Stg.n_signals stg) (Stg.kind stg) in
+  List.iter
+    (fun n ->
+      match Stg.find_signal stg n with
+      | s when kinds.(s) = Signal.Output -> kinds.(s) <- Signal.Internal
+      | _ ->
+        invalid_arg (Printf.sprintf "Stg_compose.hide: %s is not an output" n)
+      | exception Not_found ->
+        invalid_arg (Printf.sprintf "Stg_compose.hide: unknown signal %s" n))
+    signals;
+  rebuild ~name:(Stg.name stg)
+    ~signal_names:(Array.copy (Stg.signal_names stg))
+    ~kinds stg
+
+let parallel ?name a b =
+  Array.iter
+    (fun n ->
+      match Stg.find_signal b n with
+      | _ -> invalid_arg (Printf.sprintf "Stg_compose.parallel: %s shared" n)
+      | exception Not_found -> ())
+    (Stg.signal_names a);
+  let builder = Petri.Builder.create () in
+  let add tag stg sig_offset =
+    let net = Stg.net stg in
+    let places =
+      Array.init (Petri.n_places net) (fun p ->
+          Petri.Builder.add_place builder
+            ~name:(tag ^ ":" ^ Petri.place_name net p)
+            ~tokens:(Marking.tokens (Petri.initial_marking net) p))
+    in
+    let transitions =
+      Array.init (Petri.n_transitions net) (fun t ->
+          Petri.Builder.add_transition builder
+            ~name:(tag ^ ":" ^ Petri.transition_name net t))
+    in
+    for t = 0 to Petri.n_transitions net - 1 do
+      List.iter
+        (fun p -> Petri.Builder.arc_pt builder places.(p) transitions.(t))
+        (Petri.pre net t);
+      List.iter
+        (fun p -> Petri.Builder.arc_tp builder transitions.(t) places.(p))
+        (Petri.post net t)
+    done;
+    Array.init (Petri.n_transitions net) (fun t ->
+        match Stg.label stg t with
+        | Stg.Dummy -> Stg.Dummy
+        | Stg.Event e ->
+          Stg.Event { e with Signal.signal = e.Signal.signal + sig_offset })
+  in
+  let tag_a = Stg.name a in
+  let tag_b =
+    if Stg.name b = tag_a then Stg.name b ^ "'" else Stg.name b
+  in
+  let labels_a = add tag_a a 0 in
+  let labels_b = add tag_b b (Stg.n_signals a) in
+  let net = Petri.Builder.build builder in
+  let signal_names =
+    Array.append (Stg.signal_names a) (Stg.signal_names b)
+  in
+  let kinds =
+    Array.append
+      (Array.init (Stg.n_signals a) (Stg.kind a))
+      (Array.init (Stg.n_signals b) (Stg.kind b))
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Stg.name a ^ "||" ^ Stg.name b
+  in
+  Stg.make ~net ~labels:(Array.append labels_a labels_b) ~signal_names ~kinds
+    ~name

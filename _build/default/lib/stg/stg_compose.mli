@@ -1,0 +1,31 @@
+(** Structural composition of STGs.
+
+    Larger interface specifications are usually assembled from pieces:
+    independent controllers run in parallel, a specification is flipped
+    into its environment's view (mirror) to build a testbench, handshake
+    wires are renamed to splice fragments together, and internal
+    handshakes are hidden from the interface.  These operations work on
+    the net level and preserve liveness/safety of the pieces. *)
+
+(** [rename stg f] renames every signal with [f]; names must stay
+    distinct.  Raises [Invalid_argument] on a collision. *)
+val rename : Stg.t -> (string -> string) -> Stg.t
+
+(** [prefix stg p] = [rename stg (fun n -> p ^ n)]. *)
+val prefix : Stg.t -> string -> Stg.t
+
+(** [mirror stg] swaps input and output roles — the environment's view
+    of the same behaviour (internal signals stay internal). *)
+val mirror : Stg.t -> Stg.t
+
+(** [hide stg ~signals] reclassifies the given output signals as
+    internal: they keep their transitions but disappear from the
+    interface.  Raises [Invalid_argument] if a name is not an output. *)
+val hide : Stg.t -> signals:string list -> Stg.t
+
+(** [parallel ?name a b] is the independent parallel composition: the
+    disjoint union of the two nets, both initially marked.  Signal sets
+    must be disjoint (use {!prefix} first).  The state space is the
+    product of the two — use deliberately.
+    Raises [Invalid_argument] on a shared signal name. *)
+val parallel : ?name:string -> Stg.t -> Stg.t -> Stg.t

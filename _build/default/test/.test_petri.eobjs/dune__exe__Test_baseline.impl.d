@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bench_gen Csc Csc_direct Derive Either List QCheck QCheck_alcotest Sequential_insertion Sg Stg_builder

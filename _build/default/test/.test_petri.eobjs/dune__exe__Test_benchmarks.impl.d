@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Bench_gen Bench_suite Csc Format Gformat List Petri Printf Reach Sg Stg

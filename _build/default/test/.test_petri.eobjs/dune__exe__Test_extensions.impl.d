@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bdd Bdd_solver Bench_suite Cnf Dpll Format Gformat List Mpart Netlist Persistency QCheck QCheck_alcotest Sg Stg_builder String

@@ -1,0 +1,1 @@
+test/test_logic2.ml: Alcotest Bench_suite Celement Cover Csc_direct Cube Derive Espresso Exact Fun Hazard List Mpart QCheck QCheck_alcotest Sg Sg_expand Stg_builder Support

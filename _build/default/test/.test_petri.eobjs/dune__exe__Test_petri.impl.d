@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Array Bench_gen Invariants List Marking Petri Printf QCheck QCheck_alcotest Reach Stg

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Cnf Dpll List QCheck QCheck_alcotest Tseitin Walksat

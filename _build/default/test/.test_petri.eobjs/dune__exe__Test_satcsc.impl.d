@@ -1,0 +1,1 @@
+test/test_satcsc.ml: Alcotest Array Bench_gen Cnf Csc Csc_direct Csc_encode Derive Dpll List QCheck QCheck_alcotest Sg Sg_expand Stg_builder

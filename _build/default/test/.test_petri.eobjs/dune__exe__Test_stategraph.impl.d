@@ -1,0 +1,1 @@
+test/test_stategraph.ml: Alcotest Array Csc Fourval Fun Gformat List Printf Region_minimize Sg Sg_expand Stg_builder

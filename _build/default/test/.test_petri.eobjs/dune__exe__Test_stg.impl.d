@@ -1,0 +1,1 @@
+test/test_stg.ml: Alcotest Filename Fun Gformat List Petri QCheck QCheck_alcotest Reach Sg Signal Stg Stg_builder Stg_compose Sys

@@ -1,0 +1,98 @@
+(* Tests for the sequential-insertion (Lavagno-style) baseline. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let pulse_sg () =
+  Sg.of_stg
+    Stg_builder.(
+      compile ~name:"pulse" ~inputs:[ "r" ] ~outputs:[ "a" ]
+        (seq [ plus "r"; plus "a"; minus "a"; minus "r" ]))
+
+let double_pulse_sg () =
+  Sg.of_stg
+    Stg_builder.(
+      compile ~name:"dp" ~inputs:[ "r" ] ~outputs:[ "a"; "b" ]
+        (seq
+           [ plus "r"; plus "a"; minus "a"; plus "b"; minus "b"; minus "r" ]))
+
+let test_solve_pulse () =
+  let r = Sequential_insertion.solve (pulse_sg ()) in
+  match r.Sequential_insertion.outcome with
+  | Sequential_insertion.Solved sg ->
+    check "csc satisfied" true (Csc.csc_satisfied sg);
+    check_int "rounds = signals" r.Sequential_insertion.n_new
+      r.Sequential_insertion.rounds;
+    check "at least one formula" true
+      (List.length r.Sequential_insertion.formulas >= 1)
+  | Sequential_insertion.Gave_up _ -> Alcotest.fail "must solve"
+
+let test_solve_already_clean () =
+  let sg =
+    Sg.of_stg
+      Stg_builder.(
+        compile ~name:"hs" ~inputs:[ "r" ] ~outputs:[ "a" ]
+          (seq [ plus "r"; plus "a"; minus "r"; minus "a" ]))
+  in
+  let r = Sequential_insertion.solve sg in
+  match r.Sequential_insertion.outcome with
+  | Sequential_insertion.Solved sg' ->
+    check "unchanged" true (Sg.n_extras sg' = 0);
+    check_int "zero rounds" 0 r.Sequential_insertion.rounds
+  | Sequential_insertion.Gave_up _ -> Alcotest.fail "trivial"
+
+let test_solve_multiple_rounds () =
+  let r = Sequential_insertion.solve (double_pulse_sg ()) in
+  match r.Sequential_insertion.outcome with
+  | Sequential_insertion.Solved sg ->
+    check "csc satisfied" true (Csc.csc_satisfied sg);
+    check "several formulas" true
+      (List.length r.Sequential_insertion.formulas
+      >= r.Sequential_insertion.n_new)
+  | Sequential_insertion.Gave_up _ -> Alcotest.fail "must solve"
+
+let test_max_rounds_abort () =
+  match
+    (Sequential_insertion.solve ~max_rounds:0 (pulse_sg ()))
+      .Sequential_insertion.outcome
+  with
+  | Sequential_insertion.Gave_up _ -> ()
+  | Sequential_insertion.Solved _ -> Alcotest.fail "cannot solve in 0 rounds"
+
+let test_synthesize_end_to_end () =
+  match Sequential_insertion.synthesize (double_pulse_sg ()) with
+  | Either.Right _ -> Alcotest.fail "must synthesize"
+  | Either.Left (expanded, fs, report) ->
+    check "expanded csc" true (Csc.csc_satisfied expanded);
+    check_int "implementation correct" 0 (List.length (Derive.check fs expanded));
+    check "counted" true (report.Sequential_insertion.n_new >= 1)
+
+(* The comparison the paper's Table 1 embodies: the sequential baseline
+   never uses fewer signals than the direct (globally optimized) method. *)
+let prop_sequential_vs_direct =
+  QCheck.Test.make ~name:"sequential inserts at least as many signals"
+    ~count:4
+    QCheck.(int_range 1 3)
+    (fun stages ->
+      let sg () = Sg.of_stg (Bench_gen.pipeline ~stages) in
+      match
+        ( (Sequential_insertion.solve (sg ())).Sequential_insertion.outcome,
+          (Csc_direct.solve (sg ())).Csc_direct.outcome )
+      with
+      | Sequential_insertion.Solved s, Csc_direct.Solved d ->
+        Sg.n_extras s >= Sg.n_extras d
+      | _ -> false)
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "sequential insertion",
+        [
+          Alcotest.test_case "pulse" `Quick test_solve_pulse;
+          Alcotest.test_case "already clean" `Quick test_solve_already_clean;
+          Alcotest.test_case "multiple rounds" `Quick test_solve_multiple_rounds;
+          Alcotest.test_case "max rounds" `Quick test_max_rounds_abort;
+          Alcotest.test_case "end to end" `Quick test_synthesize_end_to_end;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_sequential_vs_direct ]);
+    ]

@@ -1,0 +1,346 @@
+(* Integration tests for the modular partitioning core: input-set
+   derivation, modular SAT, propagation, and the end-to-end synthesis
+   driver. *)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let build name proc ~inputs ~outputs =
+  Stg_builder.compile ~name ~inputs ~outputs proc
+
+let pulse_stg () =
+  Stg_builder.(
+    build "pulse" ~inputs:[ "r" ] ~outputs:[ "a" ]
+      (seq [ plus "r"; plus "a"; minus "a"; minus "r" ]))
+
+let two_outputs_stg () =
+  Stg_builder.(
+    build "two" ~inputs:[ "r" ] ~outputs:[ "x"; "y" ]
+      (seq
+         [
+           plus "r";
+           par [ seq [ plus "x"; minus "x" ]; seq [ plus "y"; minus "y" ] ];
+           minus "r";
+         ]))
+
+(* ---------------- Input derivation ---------------- *)
+
+let test_triggers_exact () =
+  let sg = Sg.of_stg (two_outputs_stg ()) in
+  let x = Sg.find_signal sg "x" and r = Sg.find_signal sg "r" in
+  (* only r's rise enables x+: y's firing never changes x's excitation *)
+  Alcotest.(check (list int))
+    "x triggered by r only" [ r ]
+    (Input_derivation.triggers sg ~output:x)
+
+let test_determine_hides_concurrent_branch () =
+  let sg = Sg.of_stg (two_outputs_stg ()) in
+  let x = Sg.find_signal sg "x" and y = Sg.find_signal sg "y" in
+  let inp = Input_derivation.determine sg ~output:x in
+  check "y hidden" true (not (List.mem y inp.Input_derivation.input_set));
+  check "module smaller" true
+    (Sg.n_states inp.Input_derivation.module_sg < Sg.n_states sg);
+  (* the cover maps every state into the module *)
+  check_int "cover total" (Sg.n_states sg)
+    (Array.length inp.Input_derivation.cover)
+
+let test_determine_homogeneity () =
+  (* every module class must have one implied value of the output *)
+  let sg = Sg.of_stg (two_outputs_stg ()) in
+  let x = Sg.find_signal sg "x" in
+  let inp = Input_derivation.determine sg ~output:x in
+  let msg = inp.Input_derivation.module_sg in
+  let mx = Sg.find_signal msg "x" in
+  let value = Array.make (Sg.n_states msg) (-1) in
+  for m = 0 to Sg.n_states sg - 1 do
+    let c = inp.Input_derivation.cover.(m) in
+    let v = if Sg.implied_value sg m x then 1 else 0 in
+    if value.(c) < 0 then value.(c) <- v
+    else check "homogeneous class" true (value.(c) = v)
+  done;
+  (* and the module's own implied values agree with the lift *)
+  for c = 0 to Sg.n_states msg - 1 do
+    if value.(c) >= 0 then
+      check "module implication matches" true
+        ((if Sg.implied_value msg c mx then 1 else 0) = value.(c))
+  done
+
+let test_determine_conflicts_preserved () =
+  (* every output conflict of the complete graph must survive as a
+     separable module conflict *)
+  let sg = Sg.of_stg (two_outputs_stg ()) in
+  let x = Sg.find_signal sg "x" in
+  let inp = Input_derivation.determine sg ~output:x in
+  let cover = inp.Input_derivation.cover in
+  List.iter
+    (fun (m, m') ->
+      check "pair not merged" true (cover.(m) <> cover.(m')))
+    (Csc.output_conflict_pairs sg ~output:x)
+
+(* ---------------- Modular SAT ---------------- *)
+
+let test_modular_sat_pulse () =
+  let sg = Sg.of_stg (pulse_stg ()) in
+  let a = Sg.find_signal sg "a" in
+  let inp = Input_derivation.determine sg ~output:a in
+  let msg = inp.Input_derivation.module_sg in
+  let ma = Sg.find_signal msg "a" in
+  let r = Modular_sat.solve ~output:ma msg in
+  match r.Modular_sat.outcome with
+  | Modular_sat.Solved { module_sg; new_extras } ->
+    check_int "one new signal" 1 (Array.length new_extras);
+    check_int "output conflicts gone" 0
+      (Csc.n_output_conflicts module_sg ~output:ma);
+    check "formula recorded" true (List.length r.Modular_sat.formulas >= 1)
+  | Modular_sat.Gave_up _ -> Alcotest.fail "pulse module must solve"
+
+let test_modular_sat_no_conflicts () =
+  let stg =
+    Stg_builder.(
+      build "hs" ~inputs:[ "r" ] ~outputs:[ "a" ]
+        (seq [ plus "r"; plus "a"; minus "r"; minus "a" ]))
+  in
+  let sg = Sg.of_stg stg in
+  let a = Sg.find_signal sg "a" in
+  let r = Modular_sat.solve ~output:a sg in
+  match r.Modular_sat.outcome with
+  | Modular_sat.Solved { new_extras; _ } ->
+    check_int "nothing inserted" 0 (Array.length new_extras);
+    check_int "no formulas" 0 (List.length r.Modular_sat.formulas)
+  | Modular_sat.Gave_up _ -> Alcotest.fail "trivial"
+
+(* ---------------- Propagation ---------------- *)
+
+let test_propagate_lifts_cover () =
+  let sg = Sg.of_stg (pulse_stg ()) in
+  let a = Sg.find_signal sg "a" in
+  let inp = Input_derivation.determine sg ~output:a in
+  let msg = inp.Input_derivation.module_sg in
+  let ma = Sg.find_signal msg "a" in
+  match (Modular_sat.solve ~output:ma msg).Modular_sat.outcome with
+  | Modular_sat.Gave_up _ -> Alcotest.fail "must solve"
+  | Modular_sat.Solved { new_extras; _ } ->
+    let x = new_extras.(0) in
+    let lifted =
+      Propagation.propagate sg ~cover:inp.Input_derivation.cover ~name:"n0"
+        ~values:x.Sg.values
+    in
+    check_int "extra attached" 1 (Sg.n_extras lifted);
+    (* lifted values are constant on cover classes *)
+    let v = (Sg.extras lifted).(0).Sg.values in
+    for m = 0 to Sg.n_states sg - 1 do
+      check "class constant" true
+        (Fourval.equal v.(m) x.Sg.values.(inp.Input_derivation.cover.(m)))
+    done;
+    check "complete conflicts resolved" true (Csc.csc_satisfied lifted)
+
+(* ---------------- End-to-end ---------------- *)
+
+let synthesize_ok stg =
+  let r = Mpart.synthesize stg in
+  (match Mpart.verify r with
+  | None -> ()
+  | Some e -> Alcotest.fail ("verify: " ^ e));
+  r
+
+let test_synthesize_pulse () =
+  let r = synthesize_ok (pulse_stg ()) in
+  check_int "one state signal" 1 (Mpart.n_state_signals r);
+  check "expanded bigger" true (Mpart.final_states r > Mpart.initial_states r);
+  check "area positive" true (Mpart.area_literals r > 0);
+  check_int "modules reported" 1 (List.length r.Mpart.modules)
+
+let test_synthesize_two_outputs () =
+  let r = synthesize_ok (two_outputs_stg ()) in
+  check_int "two modules" 2 (List.length r.Mpart.modules);
+  check "solves" true (Csc.csc_satisfied r.Mpart.expanded)
+
+let test_synthesize_no_conflict () =
+  let stg =
+    Stg_builder.(
+      build "hs" ~inputs:[ "r" ] ~outputs:[ "a" ]
+        (seq [ plus "r"; plus "a"; minus "r"; minus "a" ]))
+  in
+  let r = synthesize_ok stg in
+  check_int "no state signals" 0 (Mpart.n_state_signals r);
+  check_int "states unchanged" (Mpart.initial_states r) (Mpart.final_states r)
+
+let test_synthesize_choice () =
+  let stg =
+    Stg_builder.(
+      build "ch" ~inputs:[ "p"; "q" ] ~outputs:[ "x" ]
+        (choice
+           [
+             seq [ plus "p"; plus "x"; minus "x"; minus "p" ];
+             seq [ plus "q"; plus "x"; minus "x"; minus "q" ];
+           ]))
+  in
+  ignore (synthesize_ok stg)
+
+let test_synthesize_nonfc () =
+  (* non-free-choice benchmark exercises the general-STG claim *)
+  let entry = Bench_suite.find "alex-nonfc" in
+  let stg = entry.Bench_suite.build () in
+  check "not free choice" false (Petri.is_free_choice (Stg.net stg));
+  ignore (synthesize_ok stg)
+
+let test_synthesize_internal_signals () =
+  let stg =
+    Stg_builder.(
+      compile ~name:"int" ~inputs:[ "r" ] ~outputs:[ "a" ] ~internal:[ "z" ]
+        (seq [ plus "r"; plus "z"; plus "a"; minus "a"; minus "z"; minus "r" ]))
+  in
+  let r = synthesize_ok stg in
+  (* internal signals also get implementations *)
+  check "z implemented" true
+    (List.exists (fun f -> f.Derive.name = "z") r.Mpart.functions)
+
+let test_support_restriction () =
+  (* each output's cover mentions only module-support signals *)
+  let r = synthesize_ok (two_outputs_stg ()) in
+  List.iter
+    (fun (m : Mpart.module_report) ->
+      match
+        List.find_opt
+          (fun f -> f.Derive.name = m.Mpart.output_name)
+          r.Mpart.functions
+      with
+      | None -> Alcotest.fail "missing function"
+      | Some f ->
+        check "support is small" true
+          (List.length f.Derive.support < Sg.n_signals r.Mpart.expanded))
+    r.Mpart.modules
+
+let test_reports_have_formulas () =
+  let r = synthesize_ok (two_outputs_stg ()) in
+  let with_conflicts =
+    List.filter (fun m -> m.Mpart.module_conflicts > 0) r.Mpart.modules
+  in
+  check "some module had conflicts" true (List.length with_conflicts >= 1);
+  List.iter
+    (fun m ->
+      check "formulas recorded" true (List.length m.Mpart.formulas >= 1))
+    with_conflicts
+
+let test_hazard_free_config () =
+  let config = { Mpart.default_config with hazard_free = true } in
+  let r = Mpart.synthesize ~config (two_outputs_stg ()) in
+  (match Mpart.verify r with None -> () | Some e -> Alcotest.fail e);
+  List.iter
+    (fun f ->
+      check_int "no static-1 hazards" 0
+        (List.length (Hazard.static_one_hazards r.Mpart.expanded f)))
+    r.Mpart.functions
+
+let test_budget_abort () =
+  (* budgets bound the DPLL unsat prover; with no signals allowed at all
+     the engine must give up cleanly *)
+  let sg = Sg.of_stg (pulse_stg ()) in
+  (match
+     (Modular_sat.solve_pairs ~max_new:0 ~resolve:(Csc.conflict_pairs sg) sg)
+       .Modular_sat.outcome
+   with
+  | Modular_sat.Gave_up _ -> ()
+  | Modular_sat.Solved _ -> Alcotest.fail "cannot solve with zero signals");
+  (* and a tiny backtrack limit must still synthesize correctly, because
+     the WalkSAT front end needs no backtracking on satisfiable modules *)
+  let r =
+    Mpart.synthesize
+      ~config:{ Mpart.default_config with backtrack_limit = Some 1 }
+      (pulse_stg ())
+  in
+  check "still correct" true (Mpart.verify r = None)
+
+let test_state_cap () =
+  check "reachability cap surfaces" true
+    (try
+       ignore
+         (Mpart.synthesize
+            ~config:{ Mpart.default_config with max_states = 2 }
+            (two_outputs_stg ()));
+       false
+     with Reach.Too_many_states _ -> true)
+
+(* The paper's headline claim as a regression test: on the largest
+   benchmark the modular method finishes promptly while the direct
+   single-formula method cannot even live inside a generous backtrack
+   budget.  If either half regresses, the reproduction has lost the
+   paper's Table 1 shape. *)
+let test_headline_claim () =
+  let stg = (Bench_suite.find "mr0").Bench_suite.build () in
+  let t0 = Sys.time () in
+  let r = Mpart.synthesize stg in
+  check "modular verifies" true (Mpart.verify r = None);
+  check "modular is fast" true (Sys.time () -. t0 < 10.0);
+  let sg = Sg.of_stg stg in
+  match
+    (Csc_direct.solve ~backtrack_limit:300_000 ~time_limit:10.0 sg)
+      .Csc_direct.outcome
+  with
+  | Csc_direct.Gave_up _ -> ()
+  | Csc_direct.Solved _ ->
+    Alcotest.fail
+      "direct method solved mr0 inside a small budget: Table 1's shape is gone"
+
+(* property: on the generated pipeline family, modular synthesis always
+   converges, satisfies CSC after expansion, and the implementation
+   matches every state *)
+let prop_pipeline_family =
+  QCheck.Test.make ~name:"modular synthesis correct on pipeline family"
+    ~count:5
+    QCheck.(int_range 1 4)
+    (fun stages ->
+      let r = Mpart.synthesize (Bench_gen.pipeline ~stages) in
+      Mpart.verify r = None)
+
+let prop_pulser_family =
+  QCheck.Test.make ~name:"modular synthesis correct on pulser family"
+    ~count:3
+    QCheck.(int_range 1 3)
+    (fun branches ->
+      let r = Mpart.synthesize (Bench_gen.concurrent_pulsers ~branches) in
+      Mpart.verify r = None)
+
+let () =
+  Alcotest.run "mpart"
+    [
+      ( "input derivation",
+        [
+          Alcotest.test_case "triggers" `Quick test_triggers_exact;
+          Alcotest.test_case "hides concurrency" `Quick
+            test_determine_hides_concurrent_branch;
+          Alcotest.test_case "homogeneity" `Quick test_determine_homogeneity;
+          Alcotest.test_case "conflicts preserved" `Quick
+            test_determine_conflicts_preserved;
+        ] );
+      ( "modular sat",
+        [
+          Alcotest.test_case "pulse" `Quick test_modular_sat_pulse;
+          Alcotest.test_case "no conflicts" `Quick test_modular_sat_no_conflicts;
+        ] );
+      ( "propagation",
+        [ Alcotest.test_case "lifts cover" `Quick test_propagate_lifts_cover ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "pulse" `Quick test_synthesize_pulse;
+          Alcotest.test_case "two outputs" `Quick test_synthesize_two_outputs;
+          Alcotest.test_case "no conflict" `Quick test_synthesize_no_conflict;
+          Alcotest.test_case "choice" `Quick test_synthesize_choice;
+          Alcotest.test_case "non free choice" `Quick test_synthesize_nonfc;
+          Alcotest.test_case "internal signals" `Quick
+            test_synthesize_internal_signals;
+          Alcotest.test_case "support restriction" `Quick
+            test_support_restriction;
+          Alcotest.test_case "reports" `Quick test_reports_have_formulas;
+          Alcotest.test_case "hazard-free config" `Quick test_hazard_free_config;
+          Alcotest.test_case "budget abort" `Quick test_budget_abort;
+          Alcotest.test_case "state cap" `Quick test_state_cap;
+          Alcotest.test_case "headline claim (Table 1 shape)" `Slow
+            test_headline_claim;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_pipeline_family;
+          QCheck_alcotest.to_alcotest prop_pulser_family;
+        ] );
+    ]

@@ -7,7 +7,10 @@
      list       list the built-in benchmarks
      gen        emit a generated STG family member as .g text
      dot        emit the state graph in Graphviz dot syntax
-     verilog    synthesize and emit a structural Verilog netlist *)
+     verilog    synthesize and emit a structural Verilog netlist
+     verify     conformance oracle: simulate the synthesized netlist
+                against the STG under adversarial delays; --fuzz runs
+                the differential harness across all solver backends *)
 
 open Cmdliner
 
@@ -49,12 +52,13 @@ let hazard_arg =
 
 let backend_arg =
   let doc =
-    "Constraint engine for the modular method: $(b,sat) (WalkSAT + DPLL) or \
-     $(b,bdd) (symbolic, falls back to SAT on blowup)."
+    "Constraint engine for the modular method: $(b,sat) (WalkSAT + DPLL), \
+     $(b,dpll) (systematic search only), or $(b,bdd) (symbolic, falls back \
+     to SAT on blowup)."
   in
   Arg.(
     value
-    & opt (enum [ ("sat", `Sat); ("bdd", `Bdd) ]) `Sat
+    & opt (enum [ ("sat", `Sat); ("dpll", `Dpll); ("bdd", `Bdd) ]) `Sat
     & info [ "backend" ] ~docv:"ENGINE" ~doc)
 
 let portfolio_arg =
@@ -303,6 +307,91 @@ let verilog_cmd =
        ~doc:"Synthesize and emit a structural Verilog netlist")
     Term.(const run $ stg_arg)
 
+let verify_cmd =
+  let stgs_arg =
+    let doc =
+      "STG files or built-in benchmark names to verify.  With $(b,--fuzz) \
+       the list may be empty."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"STG" ~doc)
+  in
+  let fuzz_arg =
+    let doc =
+      "Differential fuzzing: generate $(docv) random STGs and cross-check \
+       every solver backend (walksat, dpll, bdd, direct) on each."
+    in
+    Arg.(value & opt (some int) None & info [ "fuzz" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed for $(b,--fuzz)." in
+    Arg.(value & opt int 20260806 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let max_states_arg =
+    let doc = "Product-exploration state cap." in
+    Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~docv:"N" ~doc)
+  in
+  let run stg_names fuzz seed max_states backtrack_limit time_limit backend =
+    let failures = ref 0 in
+    let verify_one name =
+      let stg = load_stg name in
+      let config = { Mpart.default_config with backtrack_limit; time_limit; backend } in
+      match Mpart.synthesize ~config stg with
+      | exception Mpart.Synthesis_failed msg ->
+        incr failures;
+        Format.printf "%-16s FAIL (synthesis: %s)@." (Stg.name stg) msg
+      | r ->
+        let report = Oracle.certify ~max_states (Oracle.impl_of_result r) in
+        if Oracle.passed report then
+          Format.printf "%-16s PASS (%d product states, %d/%d spec edges, %d gates)@."
+            (Stg.name stg)
+            report.Oracle.conform.Conform.stats.Conform.product_states
+            report.Oracle.conform.Conform.stats.Conform.spec_edges_covered
+            report.Oracle.conform.Conform.stats.Conform.spec_edges_total
+            report.Oracle.gates
+        else begin
+          incr failures;
+          Format.printf "%-16s FAIL@.%a@." (Stg.name stg) Oracle.pp_report report
+        end
+    in
+    List.iter verify_one stg_names;
+    (match fuzz with
+    | None ->
+      if stg_names = [] then begin
+        Printf.eprintf "mpsyn verify: nothing to do (no STG, no --fuzz)\n";
+        incr failures
+      end
+    | Some n ->
+      let rand = Random.State.make [| seed |] in
+      (* unbounded solving would let the whole-graph direct baseline run
+         forever on the large instances fuzzing routinely produces *)
+      let time_limit = Some (Option.value time_limit ~default:10.0) in
+      for i = 1 to n do
+        let stg = Bench_gen.random ~rand in
+        let d =
+          Oracle.differential_one ?backtrack_limit ?time_limit ~max_states stg
+        in
+        if d.Oracle.ok then
+          Format.printf "fuzz %3d/%d %-14s ok@." i n d.Oracle.stg_name
+        else begin
+          incr failures;
+          Format.printf "fuzz %3d/%d (seed %d) %a@." i n seed
+            Oracle.pp_differential d;
+          Format.printf "  reproduce with: mpsyn verify --fuzz %d --seed %d@." n
+            seed;
+          print_string (Gformat.to_string stg)
+        end
+      done);
+    if !failures = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Conformance oracle: simulate the synthesized gate-level netlist \
+          against the source STG under adversarial delays")
+    Term.(
+      const run $ stgs_arg $ fuzz_arg $ seed_arg $ max_states_arg
+      $ backtrack_arg $ time_arg $ backend_arg)
+
 let dot_cmd =
   let run stg_name =
     let stg = load_stg stg_name in
@@ -318,6 +407,15 @@ let () =
   let cmd =
     Cmd.group
       (Cmd.info "mpsyn" ~version:"1.0.0" ~doc)
-      [ info_cmd; synth_cmd; bench_cmd; list_cmd; gen_cmd; dot_cmd; verilog_cmd ]
+      [
+        info_cmd;
+        synth_cmd;
+        bench_cmd;
+        list_cmd;
+        gen_cmd;
+        dot_cmd;
+        verilog_cmd;
+        verify_cmd;
+      ]
   in
   exit (Cmd.eval' cmd)

@@ -24,6 +24,36 @@ let concurrent_pulsers ~branches =
   let outputs = List.init branches (Printf.sprintf "a%d") in
   compile ~name:(Printf.sprintf "pulsers%d" branches) ~inputs ~outputs proc
 
+(* Random well-formed STGs for the differential fuzzing oracle: a small
+   tree of seq/par/choice combinators whose leaves are four-phase pulses
+   on fresh request/acknowledge pairs.  Every leaf returns its signals
+   to zero, so any combination is live, safe and consistent; the pulses
+   contribute genuine CSC conflicts, and choice nodes add environment
+   nondeterminism. *)
+let random ~rand =
+  let n_pulses = ref 0 in
+  let fresh_pulse () =
+    let i = !n_pulses in
+    incr n_pulses;
+    pulse (Printf.sprintf "r%d" i) (Printf.sprintf "a%d" i)
+  in
+  let pick n = Random.State.int rand n in
+  let rec gen depth =
+    if depth = 0 || !n_pulses >= 4 then fresh_pulse ()
+    else
+      match pick 5 with
+      | 0 | 1 -> fresh_pulse ()
+      | 2 -> seq [ gen (depth - 1); gen (depth - 1) ]
+      | 3 -> par [ gen (depth - 1); gen (depth - 1) ]
+      | _ -> choice [ gen (depth - 1); gen (depth - 1) ]
+  in
+  let proc = gen 2 in
+  let tag = pick 1_000_000 in
+  let names f = List.init !n_pulses (fun i -> Printf.sprintf "%s%d" f i) in
+  compile
+    ~name:(Printf.sprintf "fuzz%d_p%d" tag !n_pulses)
+    ~inputs:(names "r") ~outputs:(names "a") proc
+
 let mixed ~stages ~branches =
   if stages < 1 || branches < 1 || branches > 8 then
     invalid_arg "Bench_gen.mixed";

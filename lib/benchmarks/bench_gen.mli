@@ -23,3 +23,10 @@ val concurrent_pulsers : branches:int -> Stg.t
 
 (** [mixed ~stages ~branches] chains [stages] concurrent sections. *)
 val mixed : stages:int -> branches:int -> Stg.t
+
+(** [random ~rand] draws a small well-formed STG: a random seq/par/choice
+    tree whose leaves are four-phase pulses on fresh request/acknowledge
+    pairs (at most 4 pulses, so state spaces stay explorable).  Always
+    live, safe and consistent; usually carries CSC conflicts.  Used by
+    the conformance oracle's differential fuzzing harness. *)
+val random : rand:Random.State.t -> Stg.t

@@ -26,8 +26,21 @@ let walksat_model cnf =
        ~max_flips:(20_000 + (200 * Cnf.n_vars cnf))
        ~max_tries:3 cnf)
 
+(* A model can satisfy the CNF yet realize an unimplementable labeling —
+   most prominently when the expansion of the labeled graph loses
+   semi-modularity (an excited region completed across both closing
+   edges of a concurrency diamond serializes the inserted transition
+   before each of the diamond's events).  The caller supplies [accept];
+   a rejected labeling is excluded with a blocking clause over the value
+   bits and the solver is asked for the next model — a small
+   counterexample-guided refinement loop.  The bound keeps pathological
+   instances from looping; exhaustion falls through to the next
+   encoding (looser mode, then one more signal). *)
+let max_model_rejects = 32
+
 let solve_pairs ?backtrack_limit ?time_limit ?(max_new = 6)
-    ?(backend = `Sat) ?(normalize = true) ~resolve sg =
+    ?(backend = `Sat) ?(normalize = true) ?(accept = fun _ -> true) ~resolve
+    sg =
   let t0 = Sys.time () in
   let deadline = Option.map (fun l -> t0 +. l) time_limit in
   let remaining () =
@@ -72,64 +85,85 @@ let solve_pairs ?backtrack_limit ?time_limit ?(max_new = 6)
         formulas :=
           { Csc_direct.vars = Cnf.n_vars cnf; clauses = Cnf.n_clauses cnf }
           :: !formulas;
-        let use model =
-          let solved = realize enc model in
-          let new_extras =
-            Array.sub (Sg.extras solved) n_before
-              (Sg.n_extras solved - n_before)
-          in
-          finish (Solved { module_sg = solved; new_extras })
-        in
         let next () =
           match mode with
           | `Strict -> attempt n_new `Loose
           | `Loose -> attempt (n_new + 1) `Strict
         in
-        let bdd_result =
-          match backend with
-          | `Sat -> Bdd_solver.Blowup (* skip: decide with the SAT stack *)
-          | `Bdd -> Bdd_solver.solve cnf
-        in
-        match bdd_result with
-        | Bdd_solver.Sat model -> use model
-        | Bdd_solver.Unsat -> next ()
-        | Bdd_solver.Blowup -> (
-        match walksat_model cnf with
-        | Some model -> use model
-        | None -> (
-          let quick, st =
-            Dpll.solve ~backtrack_limit:quick_backtrack_cap
-              ?time_limit:(remaining ()) cnf
+        (* One model from the hybrid backend chain: BDD when selected,
+           else WalkSAT first, DPLL as the decision procedure. *)
+        let propose () =
+          let bdd_result =
+            match backend with
+            | `Sat | `Dpll -> Bdd_solver.Blowup (* skip: decide with SAT *)
+            | `Bdd -> Bdd_solver.solve cnf
           in
-          stats := st :: !stats;
-          match quick with
-          | Dpll.Sat model -> use model
-          | Dpll.Unsat -> next ()
-          | Dpll.Aborted Dpll.Time_limit -> finish (Gave_up Dpll.Time_limit)
-          | Dpll.Aborted Dpll.Backtrack_limit -> (
-            let cap =
-              max quick_backtrack_cap
-                (Option.value backtrack_limit ~default:500_000)
-            in
-            let result, st =
-              Dpll.solve ~backtrack_limit:cap ?time_limit:(remaining ()) cnf
-            in
-            stats := st :: !stats;
-            match result with
-            | Dpll.Sat model -> use model
-            | Dpll.Unsat | Dpll.Aborted Dpll.Backtrack_limit -> next ()
-            | Dpll.Aborted Dpll.Time_limit -> finish (Gave_up Dpll.Time_limit))))
+          match bdd_result with
+          | Bdd_solver.Sat model -> `Model model
+          | Bdd_solver.Unsat -> `Unsat
+          | Bdd_solver.Blowup -> (
+            match (if backend = `Dpll then None else walksat_model cnf) with
+            | Some model -> `Model model
+            | None -> (
+              let quick, st =
+                Dpll.solve ~backtrack_limit:quick_backtrack_cap
+                  ?time_limit:(remaining ()) cnf
+              in
+              stats := st :: !stats;
+              match quick with
+              | Dpll.Sat model -> `Model model
+              | Dpll.Unsat -> `Unsat
+              | Dpll.Aborted Dpll.Time_limit -> `Abort
+              | Dpll.Aborted Dpll.Backtrack_limit -> (
+                let cap =
+                  max quick_backtrack_cap
+                    (Option.value backtrack_limit ~default:500_000)
+                in
+                let result, st =
+                  Dpll.solve ~backtrack_limit:cap ?time_limit:(remaining ())
+                    cnf
+                in
+                stats := st :: !stats;
+                match result with
+                | Dpll.Sat model -> `Model model
+                | Dpll.Unsat | Dpll.Aborted Dpll.Backtrack_limit -> `Unsat
+                | Dpll.Aborted Dpll.Time_limit -> `Abort)))
+        in
+        let rec models rejected =
+          match propose () with
+          | `Unsat -> next ()
+          | `Abort -> finish (Gave_up Dpll.Time_limit)
+          | `Model model ->
+            let solved = realize enc model in
+            if accept solved then begin
+              let new_extras =
+                Array.sub (Sg.extras solved) n_before
+                  (Sg.n_extras solved - n_before)
+              in
+              finish (Solved { module_sg = solved; new_extras })
+            end
+            else if rejected + 1 >= max_model_rejects then next ()
+            else begin
+              let block = ref [] in
+              for v = 1 to enc.Csc_encode.base_vars do
+                block := (if model.(v) then -v else v) :: !block
+              done;
+              Cnf.add_clause cnf !block;
+              models (rejected + 1)
+            end
+        in
+        models 0
       end
     in
     attempt 1 `Strict
   end
 
-let solve ?backtrack_limit ?time_limit ?max_new ?backend ?normalize ~output
-    module_sg =
+let solve ?backtrack_limit ?time_limit ?max_new ?backend ?normalize ?accept
+    ~output module_sg =
   let resolve =
     List.sort_uniq compare
       (Csc.output_conflict_pairs module_sg ~output
       @ Csc.orphan_conflict_pairs module_sg)
   in
   solve_pairs ?backtrack_limit ?time_limit ?max_new ?backend ?normalize
-    ~resolve module_sg
+    ?accept ~resolve module_sg

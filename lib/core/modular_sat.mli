@@ -32,16 +32,27 @@ type report = {
     as the unsatisfiability prover; an inconclusive capped run escalates
     to one more state signal, which is always sound.
     @param max_new maximum state signals to try (default 6).
-    @param backend [`Sat] (default) decides with WalkSAT + DPLL; [`Bdd]
-           tries the symbolic engine of {!Bdd_solver} first — the
-           paper's follow-up [19] — falling back to the SAT stack when
-           the BDD blows up. *)
+    @param backend [`Sat] (default) decides with WalkSAT + DPLL;
+           [`Dpll] skips the WalkSAT front end and decides with DPLL
+           alone (the pure systematic baseline, used by the conformance
+           oracle's differential harness); [`Bdd] tries the symbolic
+           engine of {!Bdd_solver} first — the paper's follow-up [19] —
+           falling back to the SAT stack when the BDD blows up.
+    @param accept extra validation of a realized labeling (default
+           accepts everything).  A model whose labeling is rejected is
+           excluded with a blocking clause over the encoding's value
+           bits and the solver produces the next model
+           (counterexample-guided); after a bounded number of
+           rejections the search escalates to the next encoding.  The
+           driver uses this to discard labelings whose expansion loses
+           semi-modularity. *)
 val solve :
   ?backtrack_limit:int ->
   ?time_limit:float ->
   ?max_new:int ->
-  ?backend:[ `Sat | `Bdd ] ->
+  ?backend:[ `Sat | `Dpll | `Bdd ] ->
   ?normalize:bool ->
+  ?accept:(Sg.t -> bool) ->
   output:int ->
   Sg.t ->
   report
@@ -59,8 +70,9 @@ val solve_pairs :
   ?backtrack_limit:int ->
   ?time_limit:float ->
   ?max_new:int ->
-  ?backend:[ `Sat | `Bdd ] ->
+  ?backend:[ `Sat | `Dpll | `Bdd ] ->
   ?normalize:bool ->
+  ?accept:(Sg.t -> bool) ->
   resolve:(int * int) list ->
   Sg.t ->
   report

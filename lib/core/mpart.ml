@@ -7,7 +7,7 @@ type config = {
   time_limit : float option;
   max_states : int;
   hazard_free : bool;
-  backend : [ `Sat | `Bdd ];
+  backend : [ `Sat | `Dpll | `Bdd ];
   normalize_modules : bool;
   exact_covers : bool;
 }
@@ -50,6 +50,14 @@ type result = {
 
 exception Synthesis_failed of string
 
+(* Count of semi-modularity violations after expansion — the quantity a
+   candidate labeling must not increase.  Comparing against the graph's
+   own baseline (rather than demanding zero) keeps module-level checks
+   meaningful: a quotient can carry artifact violations the module is
+   not responsible for. *)
+let sm_violations sg0 =
+  List.length (Persistency.violations (Sg_expand.expand sg0))
+
 (* Solve one modular graph and propagate the new signals back.  Returns
    the updated complete graph, the new signal names, and SAT metrics. *)
 let solve_module ~config ~fresh_name complete (inp : Input_derivation.t) =
@@ -58,10 +66,13 @@ let solve_module ~config ~fresh_name complete (inp : Input_derivation.t) =
     Sg.find_signal module_sg
       (Sg.signal_name complete inp.Input_derivation.output)
   in
+  let baseline = sm_violations module_sg in
   let report =
     Modular_sat.solve ?backtrack_limit:config.backtrack_limit
       ?time_limit:config.time_limit ~backend:config.backend
-      ~normalize:config.normalize_modules ~output:module_output module_sg
+      ~normalize:config.normalize_modules
+      ~accept:(fun solved -> sm_violations solved <= baseline)
+      ~output:module_output module_sg
   in
   match report.Modular_sat.outcome with
   | Modular_sat.Gave_up reason ->
@@ -156,9 +167,11 @@ let synthesize_sg ?(config = default_config) complete =
       m "modules done: %d conflicts remain" (Csc.n_conflicts !current));
   if not (Csc.csc_satisfied !current) then begin
     let remaining = Csc.conflict_pairs !current in
+    let baseline = sm_violations !current in
     let r =
       Modular_sat.solve_pairs ?backtrack_limit:config.backtrack_limit
         ?time_limit:config.time_limit ~backend:config.backend
+        ~accept:(fun solved -> sm_violations solved <= baseline)
         ~resolve:remaining !current
     in
     match r.Modular_sat.outcome with
@@ -191,28 +204,35 @@ let synthesize_sg ?(config = default_config) complete =
   end;
   (* All conflicts are resolved; serialize the inserted transitions so
      that expansion splits as few states as possible.  Minimization and
-     expansion both have a known blind spot: a same-base-code pair can
+     expansion both have known blind spots: a same-base-code pair can
      end up valued (Up, Dn) — distinguished before expansion, colliding
      after it (the strict-0/1 rule of the encoding exists precisely
-     because excited values do not survive expansion).  So we check the
-     expanded graph, fall back to the unminimized assignment when
-     minimization caused the collision, and repair any remaining
-     expansion-born conflicts with bounded direct passes. *)
+     because excited values do not survive expansion) — and an excited
+     region completed across the closing edges of a concurrency diamond
+     serializes the inserted transition before each of the diamond's
+     events, withdrawing the enabledness of one when the other fires: a
+     semi-modularity violation the conformance oracle observes as a
+     gate-level hazard.  So a labeling is accepted only when its
+     expansion both satisfies CSC and stays semi-modular; minimization
+     steps that would break either are dropped, and remaining
+     expansion-born conflicts are repaired with bounded direct passes. *)
   Log.debug (fun m -> m "minimizing excitation regions");
+  let implementable sg0 =
+    let e = Sg_expand.expand sg0 in
+    Csc.csc_satisfied e && Persistency.is_semi_modular e
+  in
   let minimize_safely sg0 =
     (* one extra at a time, keeping a minimization only when the expanded
-       graph still satisfies CSC *)
+       graph still satisfies CSC and semi-modularity *)
     let acc = ref sg0 in
     for index = 0 to Sg.n_extras sg0 - 1 do
       let candidate = Region_minimize.minimize_extra !acc ~index in
-      if Csc.csc_satisfied (Sg_expand.expand candidate) then acc := candidate
+      if implementable candidate then acc := candidate
     done;
     !acc
   in
   let final =
-    if Csc.csc_satisfied (Sg_expand.expand !current) then
-      minimize_safely !current
-    else !current
+    if implementable !current then minimize_safely !current else !current
   in
   let rec repair expanded round =
     Log.debug (fun m ->
@@ -222,9 +242,11 @@ let synthesize_sg ?(config = default_config) complete =
     else if round > 4 then
       raise (Synthesis_failed "expansion repair did not converge")
     else begin
+      let baseline = sm_violations expanded in
       let r =
         Modular_sat.solve_pairs ?backtrack_limit:config.backtrack_limit
           ?time_limit:config.time_limit ~backend:config.backend
+          ~accept:(fun solved -> sm_violations solved <= baseline)
           ~resolve:(Csc.conflict_pairs expanded) expanded
       in
       match r.Modular_sat.outcome with
@@ -245,6 +267,56 @@ let synthesize_sg ?(config = default_config) complete =
     end
   in
   let expanded = repair (Sg_expand.expand final) 0 in
+  (* Safety net: if the composition of per-module insertions is still
+     hazardous globally (modules validate against their quotient views,
+     which can hide a diamond two signals share), redo the whole
+     insertion on the source graph with every candidate labeling
+     validated against global expansion semi-modularity.  Module
+     supports are dropped — the redone signals owe nothing to the
+     per-module input sets. *)
+  let expanded =
+    if Persistency.is_semi_modular expanded then expanded
+    else begin
+      Log.debug (fun m ->
+          m "modular composition lost semi-modularity; global re-insertion");
+      let r =
+        Modular_sat.solve_pairs ?backtrack_limit:config.backtrack_limit
+          ?time_limit:config.time_limit ~backend:config.backend
+          ~accept:implementable
+          ~resolve:(Csc.conflict_pairs complete) complete
+      in
+      match r.Modular_sat.outcome with
+      | Modular_sat.Gave_up _ ->
+        raise
+          (Synthesis_failed
+             "no semi-modular state-signal insertion within the SAT budget")
+      | Modular_sat.Solved { new_extras; _ } ->
+        Hashtbl.reset supports;
+        let acc = ref complete in
+        let names = ref [] in
+        Array.iter
+          (fun (x : Sg.extra) ->
+            let name = fresh_name () in
+            names := name :: !names;
+            acc := Sg.add_extra !acc ~name ~values:x.Sg.values)
+          new_extras;
+        fallback :=
+          Some
+            {
+              output_name = "<global redo>";
+              input_set = [];
+              immediate = [];
+              kept_extras = [];
+              module_states = Sg.n_states !acc;
+              module_edges = Sg.n_edges !acc;
+              module_conflicts = List.length (Csc.conflict_pairs complete);
+              new_signals = List.rev !names;
+              formulas = r.Modular_sat.formulas;
+              sat_elapsed = r.Modular_sat.elapsed;
+            };
+        Sg_expand.expand (minimize_safely !acc)
+    end
+  in
   (* Logic derivation: outputs over their module supports; inserted state
      signals over a greedily reduced support. *)
   let support_of s =

@@ -24,8 +24,9 @@ type config = {
   time_limit : float option;  (** seconds, for the whole run *)
   max_states : int;  (** reachability cap *)
   hazard_free : bool;  (** enlarge covers to kill static-1 hazards *)
-  backend : [ `Sat | `Bdd ];
-      (** constraint engine: WalkSAT+DPLL, or BDD-first (paper [19]) *)
+  backend : [ `Sat | `Dpll | `Bdd ];
+      (** constraint engine: WalkSAT+DPLL hybrid, DPLL alone, or
+          BDD-first (paper [19]) *)
   normalize_modules : bool;
       (** shrink excitation regions at the module level (default true);
           {!synthesize_best} tries both settings *)

@@ -9,8 +9,10 @@ type report = {
   elapsed : float;
 }
 
+let max_model_rejects = 32
+
 let solve ?backtrack_limit ?time_limit ?(name_prefix = "csc") ?(max_extra = 6)
-    sg =
+    ?(accept = fun _ -> true) sg =
   let t0 = Sys.time () in
   let deadline = Option.map (fun l -> t0 +. l) time_limit in
   let remaining () =
@@ -42,36 +44,54 @@ let solve ?backtrack_limit ?time_limit ?(name_prefix = "csc") ?(max_extra = 6)
           { vars = Cnf.n_vars enc.Csc_encode.cnf;
             clauses = Cnf.n_clauses enc.Csc_encode.cnf }
           :: !formulas;
-        let time_limit =
-          match remaining () with
-          | Some r when r <= 0.0 -> Some 0.0
-          | other -> other
-        in
-        let result, st = Dpll.solve ?backtrack_limit ?time_limit enc.Csc_encode.cnf in
-        stats := st :: !stats;
-        match result with
-        | Dpll.Sat model ->
-          let names =
-            Array.init n_new (fun k -> name_prefix ^ string_of_int k)
+        let rec models rejected =
+          let time_limit =
+            match remaining () with
+            | Some r when r <= 0.0 -> Some 0.0
+            | other -> other
           in
-          let solved = Csc_encode.apply sg enc model ~names in
-          assert (Csc.csc_satisfied solved);
-          {
-            outcome = Solved solved;
-            n_new;
-            formulas = List.rev !formulas;
-            solver_stats = List.rev !stats;
-            elapsed = Sys.time () -. t0;
-          }
-        | Dpll.Unsat -> attempt (n_new + 1)
-        | Dpll.Aborted r ->
-          {
-            outcome = Gave_up r;
-            n_new = 0;
-            formulas = List.rev !formulas;
-            solver_stats = List.rev !stats;
-            elapsed = Sys.time () -. t0;
-          }
+          let result, st =
+            Dpll.solve ?backtrack_limit ?time_limit enc.Csc_encode.cnf
+          in
+          stats := st :: !stats;
+          match result with
+          | Dpll.Sat model -> (
+            let names =
+              Array.init n_new (fun k -> name_prefix ^ string_of_int k)
+            in
+            let solved = Csc_encode.apply sg enc model ~names in
+            assert (Csc.csc_satisfied solved);
+            if accept solved then
+              {
+                outcome = Solved solved;
+                n_new;
+                formulas = List.rev !formulas;
+                solver_stats = List.rev !stats;
+                elapsed = Sys.time () -. t0;
+              }
+            else if rejected + 1 >= max_model_rejects then attempt (n_new + 1)
+            else begin
+              (* exclude this labeling's value bits and re-solve: the
+                 caller found it unimplementable (e.g. its expansion
+                 loses semi-modularity) *)
+              let block = ref [] in
+              for v = 1 to enc.Csc_encode.base_vars do
+                block := (if model.(v) then -v else v) :: !block
+              done;
+              Cnf.add_clause enc.Csc_encode.cnf !block;
+              models (rejected + 1)
+            end)
+          | Dpll.Unsat -> attempt (n_new + 1)
+          | Dpll.Aborted r ->
+            {
+              outcome = Gave_up r;
+              n_new = 0;
+              formulas = List.rev !formulas;
+              solver_stats = List.rev !stats;
+              elapsed = Sys.time () -. t0;
+            }
+        in
+        models 0
       end
     in
     attempt lb

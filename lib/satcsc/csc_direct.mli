@@ -27,11 +27,18 @@ type report = {
     @param name_prefix new signals are named [prefix ^ string_of_int k]
            (default ["csc"])
     @param max_extra give up (via [Time_limit]) beyond lower bound +
-           this many additional signals (default 6) *)
+           this many additional signals (default 6)
+    @param accept extra validation of a solved labeling (default accepts
+           everything); a rejected labeling is excluded with a blocking
+           clause and the solver produces the next model, escalating to
+           one more signal after a bounded number of rejections.  Used
+           by the conformance oracle to discard labelings whose
+           expansion loses semi-modularity. *)
 val solve :
   ?backtrack_limit:int ->
   ?time_limit:float ->
   ?name_prefix:string ->
   ?max_extra:int ->
+  ?accept:(Sg.t -> bool) ->
   Sg.t ->
   report

@@ -311,16 +311,14 @@ let to_string stg =
   (match dummies with
   | [] -> ()
   | ds ->
+    let bases =
+      List.sort_uniq compare
+        (List.map
+           (fun t -> fst (split_instance (Petri.transition_name net t)))
+           ds)
+    in
     pr ".dummy";
-    let seen = Hashtbl.create 8 in
-    List.iter
-      (fun t ->
-        let base, _ = split_instance (Petri.transition_name net t) in
-        if not (Hashtbl.mem seen base) then begin
-          Hashtbl.add seen base ();
-          pr " %s" base
-        end)
-      ds;
+    List.iter (pr " %s") bases;
     pr "\n");
   pr ".graph\n";
   let is_implicit p =
@@ -330,6 +328,11 @@ let to_string stg =
     && List.length (Petri.place_pre net p) = 1
     && List.length (Petri.place_post net p) = 1
   in
+  (* arc lines and marking entries are sorted so the printed form does
+     not depend on internal numbering: printing is idempotent and two
+     structurally equal nets print identically *)
+  let lines = ref [] in
+  let line s = lines := s :: !lines in
   for t = 0 to Petri.n_transitions net - 1 do
     let targets = ref [] in
     List.iter
@@ -339,14 +342,19 @@ let to_string stg =
             (fun t' -> targets := Petri.transition_name net t' :: !targets)
             (Petri.place_post net p))
       (Petri.post net t);
-    (match List.rev !targets with
+    (match List.sort compare !targets with
     | [] -> ()
-    | ts -> pr "%s %s\n" (Petri.transition_name net t) (String.concat " " ts));
+    | ts ->
+      line
+        (Printf.sprintf "%s %s" (Petri.transition_name net t)
+           (String.concat " " ts)));
     (* arcs into explicit places *)
     List.iter
       (fun p ->
         if not (is_implicit p) then
-          pr "%s %s\n" (Petri.transition_name net t) (Petri.place_name net p))
+          line
+            (Printf.sprintf "%s %s" (Petri.transition_name net t)
+               (Petri.place_name net p)))
       (Petri.post net t)
   done;
   for p = 0 to Petri.n_places net - 1 do
@@ -354,17 +362,21 @@ let to_string stg =
       match Petri.place_post net p with
       | [] -> ()
       | consumers ->
-        pr "%s %s\n" (Petri.place_name net p)
-          (String.concat " "
-             (List.map (Petri.transition_name net) consumers))
+        line
+          (Printf.sprintf "%s %s" (Petri.place_name net p)
+             (String.concat " "
+                (List.sort compare
+                   (List.map (Petri.transition_name net) consumers))))
   done;
+  List.iter (fun s -> pr "%s\n" s) (List.sort compare !lines);
   let initial = Petri.initial_marking net in
   let entries = ref [] in
   for p = Petri.n_places net - 1 downto 0 do
     if Marking.tokens initial p > 0 then
       entries := Petri.place_name net p :: !entries
   done;
-  if !entries <> [] then pr ".marking { %s }\n" (String.concat " " !entries);
+  if !entries <> [] then
+    pr ".marking { %s }\n" (String.concat " " (List.sort compare !entries));
   pr ".end\n";
   Buffer.contents buf
 

@@ -1,0 +1,177 @@
+type impl = {
+  spec : Sg.t;
+  expanded : Sg.t;
+  functions : Derive.func list;
+  netlist : Netlist.t;
+  initial : (string * bool) list;
+}
+
+let boundary_valuation sg =
+  let m0 = Sg.initial sg in
+  List.init (Sg.n_signals sg) (fun s -> (Sg.signal_name sg s, Sg.bit sg m0 s))
+
+let input_names sg =
+  List.filter_map
+    (fun s -> if Sg.non_input sg s then None else Some (Sg.signal_name sg s))
+    (List.init (Sg.n_signals sg) Fun.id)
+
+let make_impl ~spec ~expanded functions =
+  let netlist =
+    Netlist.of_functions ~name:(Sg.name spec) ~inputs:(input_names expanded)
+      functions
+  in
+  { spec; expanded; functions; netlist; initial = boundary_valuation expanded }
+
+let impl_of_result (r : Mpart.result) =
+  make_impl ~spec:r.Mpart.complete ~expanded:r.Mpart.expanded r.Mpart.functions
+
+let impl_of_expanded ?minimizer ~spec expanded =
+  if Sg.n_extras expanded > 0 then
+    invalid_arg "Oracle.impl_of_expanded: expand the state signals first";
+  make_impl ~spec ~expanded (Derive.synthesize ?minimizer expanded)
+
+type report = {
+  conform : Conform.report;
+  refinement : Conform.report;
+  semi_modular : bool;
+  cover_errors : int;
+  gates : int;
+  elapsed : float;
+}
+
+let passed r =
+  Conform.conforms r.conform
+  && Conform.conforms r.refinement
+  && r.semi_modular && r.cover_errors = 0
+
+(* The certificate decomposes along what the flow actually guarantees:
+   the netlist must conform {e exactly} to the expanded graph (the
+   behaviour with inserted state-signal handshakes explicit), and the
+   expanded graph must refine the source specification once those
+   signals are hidden again.  Together with semi-modularity of the
+   expanded graph this is the paper's correctness statement; demanding
+   netlist-vs-source conformance directly would additionally require
+   input-proper insertion, which graph labeling cannot always provide. *)
+let certify ?max_states impl =
+  let t0 = Sys.time () in
+  let conform =
+    Conform.check ?max_states ~spec:impl.expanded ~initial:impl.initial
+      impl.netlist
+  in
+  let refinement = Conform.refines ?max_states ~spec:impl.spec impl.expanded in
+  {
+    conform;
+    refinement;
+    semi_modular = Persistency.is_semi_modular impl.expanded;
+    cover_errors = List.length (Derive.check impl.functions impl.expanded);
+    gates = Netlist.n_gates impl.netlist;
+    elapsed = Sys.time () -. t0;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>netlist vs expanded: %arefinement vs source: %asemi-modular: \
+     %s@,cover mismatches: %d@,gates: %d@]"
+    Conform.pp_report r.conform Conform.pp_report r.refinement
+    (if r.semi_modular then "yes" else "NO")
+    r.cover_errors r.gates
+
+(* ---- differential backends ---- *)
+
+type backend = Walksat | Dpll | Bdd | Direct
+
+let backend_name = function
+  | Walksat -> "walksat"
+  | Dpll -> "dpll"
+  | Bdd -> "bdd"
+  | Direct -> "direct"
+
+let all_backends = [ Walksat; Dpll; Bdd; Direct ]
+
+let synthesize_with ?backtrack_limit ?time_limit backend stg =
+  match backend with
+  | Walksat | Dpll | Bdd -> (
+    let engine =
+      match backend with Walksat -> `Sat | Dpll -> `Dpll | _ -> `Bdd
+    in
+    let config =
+      { Mpart.default_config with backtrack_limit; time_limit; backend = engine }
+    in
+    match Mpart.synthesize ~config stg with
+    | r -> Ok (impl_of_result r)
+    | exception Mpart.Synthesis_failed msg -> Error msg)
+  | Direct -> (
+    let sg = Sg.of_stg stg in
+    (* same implementability contract as the modular driver: a labeling
+       is only a solution if its expansion stays semi-modular *)
+    let accept solved =
+      let e = Sg_expand.expand solved in
+      Csc.csc_satisfied e && Persistency.is_semi_modular e
+    in
+    let r = Csc_direct.solve ?backtrack_limit ?time_limit ~accept sg in
+    match r.Csc_direct.outcome with
+    | Csc_direct.Solved solved ->
+      Ok (impl_of_expanded ~spec:sg (Sg_expand.expand solved))
+    | Csc_direct.Gave_up reason ->
+      Error
+        (match reason with
+        | Dpll.Backtrack_limit -> "backtrack limit"
+        | Dpll.Time_limit -> "time limit"))
+
+type differential = {
+  stg_name : string;
+  verdicts : (backend * (report, string) result) list;
+  agree : bool;
+  ok : bool;
+}
+
+(* Giving up is an abstention, not a verdict: no backend ever proves a
+   specification unsynthesizable (an unsatisfiable formula just
+   escalates the signal count until the budget runs out), so the
+   differential cross-check demands agreement among the three modular
+   backends — same algorithm, same escalation ladder, different
+   decision engines — and tolerates the whole-graph [Direct] baseline
+   timing out on instances that are exactly the paper's motivation. *)
+let differential_one ?(backends = all_backends) ?backtrack_limit ?time_limit
+    ?max_states stg =
+  let verdicts =
+    List.map
+      (fun b ->
+        let v =
+          match synthesize_with ?backtrack_limit ?time_limit b stg with
+          | Ok impl -> Ok (certify ?max_states impl)
+          | Error msg -> Error msg
+        in
+        (b, v))
+      backends
+  in
+  let solved = List.filter (fun (_, v) -> Result.is_ok v) verdicts in
+  let modular =
+    List.filter (fun (b, _) -> b = Walksat || b = Dpll || b = Bdd) verdicts
+  in
+  let modular_solved = List.filter (fun (_, v) -> Result.is_ok v) modular in
+  let agree =
+    modular_solved = [] || List.length modular_solved = List.length modular
+  in
+  let ok =
+    agree && solved <> []
+    && List.for_all
+         (fun (_, v) -> match v with Ok r -> passed r | Error _ -> false)
+         solved
+  in
+  { stg_name = Stg.name stg; verdicts; agree; ok }
+
+let pp_differential ppf d =
+  Format.fprintf ppf "@[<v>%s: %s@," d.stg_name
+    (if d.ok then "agree, all conform" else "DISAGREEMENT OR FAILURE");
+  List.iter
+    (fun (b, v) ->
+      match v with
+      | Ok r ->
+        Format.fprintf ppf "  %-8s %s (%d product states, %d gates)@,"
+          (backend_name b)
+          (if passed r then "pass" else "FAIL")
+          r.conform.Conform.stats.Conform.product_states r.gates
+      | Error msg -> Format.fprintf ppf "  %-8s gave up: %s@," (backend_name b) msg)
+    d.verdicts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,96 @@
+(** End-to-end conformance oracle: STG → synthesis → netlist → proof.
+
+    This is the tier-1 correctness gate for the whole flow.  It closes
+    the loop the paper leaves implicit: after modular (or direct)
+    synthesis, the generated gate-level netlist is simulated with
+    adversarial delays against the {e expanded} state graph — the
+    behaviour with inserted state-signal handshakes explicit, which is
+    the contract the flow actually synthesizes to ({!Conform.check});
+    the expanded graph is then tied back to the {e source}
+    specification by hiding the inserted signals again
+    ({!Conform.refines}); the expanded graph is checked for
+    semi-modularity ({!Persistency}); and the derived covers are
+    re-checked state by state.  A [passed] report certifies the
+    implementation, not just the state-graph algebra.
+
+    The differential harness runs every synthesis backend over the same
+    specification and cross-checks that (a) all backends agree on
+    whether synthesis succeeds and (b) every produced circuit conforms —
+    the fuzzing oracle of [test/test_conformance.ml] and
+    [mpsyn verify --fuzz]. *)
+
+type impl = {
+  spec : Sg.t;  (** the source specification's state graph *)
+  expanded : Sg.t;  (** implementation state graph (state signals real) *)
+  functions : Derive.func list;
+  netlist : Netlist.t;
+  initial : (string * bool) list;  (** boundary valuation at reset *)
+}
+
+(** [impl_of_result r] packages a modular synthesis result; the spec is
+    the complete state graph the run started from. *)
+val impl_of_result : Mpart.result -> impl
+
+(** [impl_of_expanded ~spec expanded] packages a direct-method solution:
+    [expanded] must carry no extras (run {!Sg_expand.expand} first). *)
+val impl_of_expanded : ?minimizer:[ `Heuristic | `Exact ] -> spec:Sg.t -> Sg.t -> impl
+
+type report = {
+  conform : Conform.report;  (** netlist vs expanded, exact *)
+  refinement : Conform.report;  (** expanded vs source, extras hidden *)
+  semi_modular : bool;  (** {!Persistency.is_semi_modular} on [expanded] *)
+  cover_errors : int;  (** {!Derive.check} mismatches on [expanded] *)
+  gates : int;
+  elapsed : float;
+}
+
+val passed : report -> bool
+
+(** [certify ?max_states impl] runs all four checks. *)
+val certify : ?max_states:int -> impl -> report
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Differential backends} *)
+
+type backend = Walksat | Dpll | Bdd | Direct
+
+val backend_name : backend -> string
+val all_backends : backend list
+
+(** [synthesize_with ?backtrack_limit ?time_limit backend stg] runs one
+    backend end to end.  The three modular backends drive {!Mpart} with
+    the corresponding solver engine; [Direct] is the whole-graph
+    {!Csc_direct} baseline.  [Error msg] means synthesis gave up (budget
+    exhausted), not that the circuit is wrong. *)
+val synthesize_with :
+  ?backtrack_limit:int ->
+  ?time_limit:float ->
+  backend ->
+  Stg.t ->
+  (impl, string) result
+
+type differential = {
+  stg_name : string;
+  verdicts : (backend * (report, string) result) list;
+  agree : bool;
+      (** the modular backends (walksat/dpll/bdd) all solved or all
+          abstained; the whole-graph {!Direct} baseline may abstain on
+          its budget without counting as disagreement, since giving up
+          is never a definitive unsatisfiability verdict *)
+  ok : bool;
+      (** [agree], at least one backend solved, and every produced
+          implementation passed its certificate *)
+}
+
+(** [differential_one ?backends ?max_states stg] cross-checks one
+    specification over the given backends (default {!all_backends}). *)
+val differential_one :
+  ?backends:backend list ->
+  ?backtrack_limit:int ->
+  ?time_limit:float ->
+  ?max_states:int ->
+  Stg.t ->
+  differential
+
+val pp_differential : Format.formatter -> differential -> unit

@@ -1,0 +1,29 @@
+(* Shared randomness control for the property and fuzz tests.
+
+   A pinned default keeps `dune runtest` deterministic from run to run;
+   QCHECK_SEED overrides it, so a failure reported with its seed can be
+   replayed without editing code.  The seed is announced on stderr the
+   first time any randomized test asks for it — on failure, dune shows
+   the captured output, so the seed is always part of a failure report. *)
+
+let seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | None | Some "" -> 20260806
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> n
+    | None -> invalid_arg ("QCHECK_SEED is not an integer: " ^ s))
+
+let announced = ref false
+
+let announce () =
+  if not !announced then begin
+    announced := true;
+    Printf.eprintf "qcheck seed: %d (override with QCHECK_SEED=<n>)\n%!" seed
+  end
+
+let state () =
+  announce ();
+  Random.State.make [| seed |]
+
+let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(state ()) t

@@ -134,6 +134,43 @@ let test_propagate_lifts_cover () =
     done;
     check "complete conflicts resolved" true (Csc.csc_satisfied lifted)
 
+let test_propagate_identity_cover () =
+  (* degenerate single-output case: the module equals the complete
+     graph, the cover is the identity, and propagation copies the
+     module values verbatim *)
+  let sg = Sg.of_stg (pulse_stg ()) in
+  let cover = Array.init (Sg.n_states sg) Fun.id in
+  let step m =
+    match Sg.succ sg m with [ e ] -> e.Sg.dst | _ -> Alcotest.fail "det"
+  in
+  let m0 = Sg.initial sg in
+  let m1 = step m0 in
+  let m2 = step m1 in
+  let m3 = step m2 in
+  let values = Array.make 4 Fourval.V0 in
+  values.(m0) <- Fourval.Dn;
+  values.(m1) <- Fourval.V0;
+  values.(m2) <- Fourval.Up;
+  values.(m3) <- Fourval.V1;
+  let lifted = Propagation.propagate sg ~cover ~name:"n" ~values in
+  check_int "one extra" 1 (Sg.n_extras lifted);
+  Array.iteri
+    (fun m v -> check "value copied" true (Fourval.equal v values.(m)))
+    (Sg.extras lifted).(0).Sg.values;
+  check "resolves" true (Csc.csc_satisfied lifted)
+
+let test_propagate_inconsistent () =
+  (* edge-inconsistent lift must be rejected, not silently attached *)
+  let sg = Sg.of_stg (pulse_stg ()) in
+  let cover = Array.init (Sg.n_states sg) Fun.id in
+  let values = Array.make 4 Fourval.V0 in
+  values.(Sg.initial sg) <- Fourval.V1;
+  check "raises" true
+    (try
+       ignore (Propagation.propagate sg ~cover ~name:"n" ~values);
+       false
+     with Sg.Inconsistent _ -> true)
+
 (* ---------------- End-to-end ---------------- *)
 
 let synthesize_ok stg =
@@ -251,6 +288,44 @@ let test_budget_abort () =
   in
   check "still correct" true (Mpart.verify r = None)
 
+let test_fallback_orphan_conflict () =
+  (* a conflict pair that no output module claims: both states imply
+     identical values for every output, so the per-output passes skip
+     it (zero output conflicts) and the global fallback must fire.
+     The cycle fires r,a twice with an extra x covering only the first
+     lap: the two 10-coded states disagree only on x's excitation. *)
+  let src =
+    ".model orphan\n.inputs r\n.outputs a\n.graph\n\
+     r~ a~\na~ r~/2\nr~/2 a~/2\na~/2 r~/3\nr~/3 a~/3\na~/3 r~/4\n\
+     r~/4 a~/4\na~/4 r~\n.marking { <a~/4,r~> }\n.end\n"
+  in
+  let sg = Sg.of_stg (Gformat.parse_string src) in
+  check_int "eight states" 8 (Sg.n_states sg);
+  let step m =
+    match Sg.succ sg m with [ e ] -> e.Sg.dst | _ -> Alcotest.fail "det"
+  in
+  let order = Array.make 8 0 in
+  let m = ref (Sg.initial sg) in
+  for i = 0 to 7 do
+    order.(i) <- !m;
+    m := step !m
+  done;
+  let fire_values =
+    [|
+      Fourval.V0; Fourval.Up; Fourval.V1; Fourval.Dn;
+      Fourval.V0; Fourval.V0; Fourval.V0; Fourval.V0;
+    |]
+  in
+  let values = Array.make 8 Fourval.V0 in
+  Array.iteri (fun i s -> values.(s) <- fire_values.(i)) order;
+  let sg = Sg.add_extra sg ~name:"x" ~values in
+  check_int "no output conflicts" 0
+    (Csc.n_output_conflicts sg ~output:(Sg.find_signal sg "a"));
+  check_int "one orphan pair" 1 (List.length (Csc.orphan_conflict_pairs sg));
+  let r = Mpart.synthesize_sg sg in
+  check "fallback fired" true (r.Mpart.fallback <> None);
+  check "verifies" true (Mpart.verify r = None)
+
 let test_state_cap () =
   check "reachability cap surfaces" true
     (try
@@ -319,7 +394,13 @@ let () =
           Alcotest.test_case "no conflicts" `Quick test_modular_sat_no_conflicts;
         ] );
       ( "propagation",
-        [ Alcotest.test_case "lifts cover" `Quick test_propagate_lifts_cover ] );
+        [
+          Alcotest.test_case "lifts cover" `Quick test_propagate_lifts_cover;
+          Alcotest.test_case "identity cover" `Quick
+            test_propagate_identity_cover;
+          Alcotest.test_case "inconsistent lift" `Quick
+            test_propagate_inconsistent;
+        ] );
       ( "synthesis",
         [
           Alcotest.test_case "pulse" `Quick test_synthesize_pulse;
@@ -334,13 +415,15 @@ let () =
           Alcotest.test_case "reports" `Quick test_reports_have_formulas;
           Alcotest.test_case "hazard-free config" `Quick test_hazard_free_config;
           Alcotest.test_case "budget abort" `Quick test_budget_abort;
+          Alcotest.test_case "orphan conflict fallback" `Quick
+            test_fallback_orphan_conflict;
           Alcotest.test_case "state cap" `Quick test_state_cap;
           Alcotest.test_case "headline claim (Table 1 shape)" `Slow
             test_headline_claim;
         ] );
       ( "properties",
         [
-          QCheck_alcotest.to_alcotest prop_pipeline_family;
-          QCheck_alcotest.to_alcotest prop_pulser_family;
+          Qseed.to_alcotest prop_pipeline_family;
+          Qseed.to_alcotest prop_pulser_family;
         ] );
     ]

@@ -184,14 +184,14 @@ let () =
     [
       ( "laws",
         [
-          QCheck_alcotest.to_alcotest prop_quotient_cover_law;
-          QCheck_alcotest.to_alcotest prop_quotient_identity;
-          QCheck_alcotest.to_alcotest prop_synthesis_fixpoint;
-          QCheck_alcotest.to_alcotest prop_modular_vs_direct;
-          QCheck_alcotest.to_alcotest prop_functions_prime_irredundant;
-          QCheck_alcotest.to_alcotest prop_celement_consistent_with_derive;
-          QCheck_alcotest.to_alcotest prop_gformat_roundtrip_generated;
-          QCheck_alcotest.to_alcotest prop_compose_laws;
-          QCheck_alcotest.to_alcotest prop_region_minimize_safe;
+          Qseed.to_alcotest prop_quotient_cover_law;
+          Qseed.to_alcotest prop_quotient_identity;
+          Qseed.to_alcotest prop_synthesis_fixpoint;
+          Qseed.to_alcotest prop_modular_vs_direct;
+          Qseed.to_alcotest prop_functions_prime_irredundant;
+          Qseed.to_alcotest prop_celement_consistent_with_derive;
+          Qseed.to_alcotest prop_gformat_roundtrip_generated;
+          Qseed.to_alcotest prop_compose_laws;
+          Qseed.to_alcotest prop_region_minimize_safe;
         ] );
     ]

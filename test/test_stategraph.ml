@@ -318,6 +318,43 @@ let test_expand_concurrent () =
     ((2 * Sg.n_edges sg) + Sg.n_states sg)
     (Sg.n_edges ex)
 
+let test_expand_constant_extra () =
+  (* zero-conflict edge case: an extra that never switches expands to a
+     new signal with no transitions — the graph shape is untouched *)
+  let open Stg_builder in
+  let stg =
+    compile ~name:"hs" ~inputs:[ "r" ] ~outputs:[ "a" ]
+      (seq [ plus "r"; plus "a"; minus "r"; minus "a" ])
+  in
+  let sg = Sg.of_stg stg in
+  let sg =
+    Sg.add_extra sg ~name:"n" ~values:(Array.make (Sg.n_states sg) Fourval.V0)
+  in
+  let ex = Sg_expand.expand sg in
+  check_int "states unchanged" (Sg.n_states sg) (Sg.n_states ex);
+  check_int "edges unchanged" (Sg.n_edges sg) (Sg.n_edges ex);
+  check_int "signal added" (Sg.n_signals sg + 1) (Sg.n_signals ex);
+  check "still clean" true (Csc.csc_satisfied ex)
+
+let test_expand_serializes_half_edges () =
+  (* single-output edge case, (Up,V1) crossing: the a- exit of the Up
+     state is only reachable from the bit-1 half, so expansion
+     serializes n+ before it — the 0-half's sole successor is n+ *)
+  let sg, _ = resolved_pulse () in
+  let ex = Sg_expand.expand sg in
+  check "semi-modular" true (Persistency.is_semi_modular ex);
+  let n = Sg.find_signal ex "n" in
+  let n_rise_srcs =
+    Array.to_list (Sg.edges ex)
+    |> List.filter_map (fun e ->
+           match e.Sg.label with
+           | Sg.Ev (s, Sg.R) when s = n -> Some e.Sg.src
+           | _ -> None)
+  in
+  check_int "single rise" 1 (List.length n_rise_srcs);
+  check_int "rise is serialized" 1
+    (List.length (Sg.succ ex (List.hd n_rise_srcs)))
+
 (* ---------------- Region minimization ---------------- *)
 
 let test_region_minimize_preserves_csc () =
@@ -413,6 +450,9 @@ let () =
           Alcotest.test_case "pulse" `Quick test_expand_pulse;
           Alcotest.test_case "no extras" `Quick test_expand_no_extras;
           Alcotest.test_case "concurrent" `Quick test_expand_concurrent;
+          Alcotest.test_case "constant extra" `Quick test_expand_constant_extra;
+          Alcotest.test_case "serialized crossing" `Quick
+            test_expand_serializes_half_edges;
         ] );
       ( "region minimization",
         [

@@ -14,14 +14,65 @@
 
 open Cmdliner
 
-let load_stg path_or_name =
-  if Sys.file_exists path_or_name then Gformat.parse_file path_or_name
+(* Exit-code discipline (documented in every subcommand's man page):
+   0 success; 1 synthesis failure or abort; 2 usage / input errors;
+   3 lint rejected the specification; 4 verification failure. *)
+let exit_usage = 2
+let exit_lint = 3
+let exit_verification = 4
+
+let exits =
+  [
+    Cmd.Exit.info 0 ~doc:"on success.";
+    Cmd.Exit.info 1 ~doc:"on synthesis failure (exhausted SAT budget or abort).";
+    Cmd.Exit.info exit_usage
+      ~doc:"on command-line errors or unreadable/unknown STG inputs.";
+    Cmd.Exit.info exit_lint
+      ~doc:
+        "when static analysis rejects the specification (lint errors; with \
+         $(b,--strict), warnings too).";
+    Cmd.Exit.info exit_verification
+      ~doc:"when verification of a synthesized circuit fails.";
+  ]
+
+(* [load_stg_spans] keeps the source map when the STG comes from a .g
+   file, so diagnostics can point into the text. *)
+let load_stg_spans path_or_name =
+  if Sys.file_exists path_or_name then begin
+    match Gformat.parse_file_spans path_or_name with
+    | stg, map -> (stg, Some map)
+    | exception Gformat.Parse_error msg ->
+      Printf.eprintf "mpsyn: %s: %s\n" path_or_name msg;
+      exit exit_usage
+  end
   else
     match List.assoc_opt path_or_name Bench_data.all with
-    | Some build -> build ()
+    | Some build -> (build (), None)
     | None ->
       Printf.eprintf "mpsyn: no such file or benchmark: %s\n" path_or_name;
-      exit 2
+      exit exit_usage
+
+let load_stg path_or_name = fst (load_stg_spans path_or_name)
+
+(* Shared fail-fast pre-pass for synthesis commands: reject structurally
+   broken STGs (rules A1–A5) before any state graph is built. *)
+let lint_gate ~skip name =
+  if not skip then begin
+    let stg, map = load_stg_spans name in
+    let { Lint.report; _ } = Lint.run ?map stg in
+    if not (Diagnostic.clean report) then begin
+      Format.eprintf "%a" Diagnostic.pp report;
+      Format.eprintf
+        "mpsyn: %s rejected by static analysis (run `mpsyn lint %s` for \
+         details, or pass --no-lint to force)@."
+        (Stg.name stg) name;
+      exit exit_lint
+    end
+  end
+
+let no_lint_arg =
+  let doc = "Skip the static-analysis pre-pass (rules A1-A5)." in
+  Arg.(value & flag & info [ "no-lint" ] ~doc)
 
 let stg_arg =
   let doc = "STG file in .g format, or the name of a built-in benchmark." in
@@ -74,6 +125,71 @@ let celements_arg =
 
 (* ------------------------------------------------------------------ *)
 
+let lint_cmd =
+  let stgs_arg =
+    let doc = "STG files in .g format, or built-in benchmark names." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"STG" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the report(s) as a machine-readable JSON document." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let strict_arg =
+    let doc = "Treat warnings as rejections (exit 3)." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let netlist_arg =
+    let doc =
+      "Additionally synthesize each lint-clean STG and run the structural \
+       netlist rules (A7) over the generated circuit."
+    in
+    Arg.(value & flag & info [ "netlist" ] ~doc)
+  in
+  let run names json strict netlist =
+    let rejected = ref false in
+    let jsons = ref [] in
+    let consume report =
+      if json then jsons := Diagnostic.to_json report :: !jsons
+      else Format.printf "%a" Diagnostic.pp report;
+      if
+        if strict then not (Diagnostic.strict_clean report)
+        else not (Diagnostic.clean report)
+      then rejected := true
+    in
+    List.iter
+      (fun name ->
+        let stg, map = load_stg_spans name in
+        let { Lint.report; _ } = Lint.run ?map stg in
+        consume report;
+        if netlist && Diagnostic.clean report then begin
+          match Mpart.synthesize_best stg with
+          | r ->
+            let inputs = List.map (Stg.signal_name stg) (Stg.inputs stg) in
+            let nl =
+              Netlist.of_functions ~name:(Stg.name stg) ~inputs
+                r.Mpart.functions
+            in
+            consume (Lint.run_netlist nl)
+          | exception Mpart.Synthesis_failed msg ->
+            Printf.eprintf "mpsyn lint: %s: synthesis failed (%s); netlist \
+                            rules skipped\n"
+              name msg
+        end)
+      names;
+    if json then begin
+      match List.rev !jsons with
+      | [ one ] -> print_endline one
+      | many -> Printf.printf "[%s]\n" (String.concat "," many)
+    end;
+    if !rejected then exit_lint else 0
+  in
+  Cmd.v
+    (Cmd.info "lint" ~exits
+       ~doc:
+         "Statically analyze an STG (and optionally its synthesized \
+          netlist) without building the state space")
+    Term.(const run $ stgs_arg $ json_arg $ strict_arg $ netlist_arg)
+
 let info_cmd =
   let run stg_name =
     let stg = load_stg stg_name in
@@ -107,7 +223,7 @@ let info_cmd =
       (List.filter (Sg.non_input sg) (List.init (Sg.n_signals sg) Fun.id));
     0
   in
-  Cmd.v (Cmd.info "info" ~doc:"Report STG structure and CSC statistics")
+  Cmd.v (Cmd.info "info" ~exits ~doc:"Report STG structure and CSC statistics")
     Term.(const run $ stg_arg)
 
 let print_functions fs =
@@ -115,7 +231,8 @@ let print_functions fs =
 
 let synth_cmd =
   let run stg_name method_ backtrack_limit time_limit hazard_free backend
-      portfolio celements =
+      portfolio celements no_lint =
+    lint_gate ~skip:no_lint stg_name;
     let stg = load_stg stg_name in
     match method_ with
     | `Modular ->
@@ -148,7 +265,7 @@ let synth_cmd =
       end;
       (match Mpart.verify r with
       | None -> Format.printf "verification: ok@."; 0
-      | Some e -> Format.printf "verification: %s@." e; 1)
+      | Some e -> Format.printf "verification: %s@." e; exit_verification)
     | `Direct -> (
       let sg = Sg.of_stg stg in
       let r = Csc_direct.solve ?backtrack_limit ?time_limit sg in
@@ -194,10 +311,10 @@ let synth_cmd =
         0)
   in
   Cmd.v
-    (Cmd.info "synth" ~doc:"Synthesize a speed-independent circuit from an STG")
+    (Cmd.info "synth" ~exits ~doc:"Synthesize a speed-independent circuit from an STG")
     Term.(
       const run $ stg_arg $ method_arg $ backtrack_arg $ time_arg $ hazard_arg
-      $ backend_arg $ portfolio_arg $ celements_arg)
+      $ backend_arg $ portfolio_arg $ celements_arg $ no_lint_arg)
 
 let bench_cmd =
   let run stg_name =
@@ -235,7 +352,7 @@ let bench_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Compare the three methods on one benchmark")
+    (Cmd.info "bench" ~exits ~doc:"Compare the three methods on one benchmark")
     Term.(const run $ stg_arg)
 
 let list_cmd =
@@ -249,7 +366,7 @@ let list_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "list" ~doc:"List the built-in benchmark reconstructions")
+    (Cmd.info "list" ~exits ~doc:"List the built-in benchmark reconstructions")
     Term.(const run $ const ())
 
 let gen_cmd =
@@ -279,7 +396,7 @@ let gen_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Emit a generated STG in .g format")
+    (Cmd.info "gen" ~exits ~doc:"Emit a generated STG in .g format")
     Term.(const run $ family $ n_arg $ k_arg)
 
 let verilog_cmd =
@@ -290,7 +407,7 @@ let verilog_cmd =
     | None -> ()
     | Some e ->
       Printf.eprintf "verification failed: %s\n" e;
-      exit 1);
+      exit exit_verification);
     let inputs =
       List.map (Stg.signal_name stg) (Stg.inputs stg)
     in
@@ -303,7 +420,7 @@ let verilog_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "verilog"
+    (Cmd.info "verilog" ~exits
        ~doc:"Synthesize and emit a structural Verilog netlist")
     Term.(const run $ stg_arg)
 
@@ -358,7 +475,7 @@ let verify_cmd =
     | None ->
       if stg_names = [] then begin
         Printf.eprintf "mpsyn verify: nothing to do (no STG, no --fuzz)\n";
-        incr failures
+        exit exit_usage
       end
     | Some n ->
       let rand = Random.State.make [| seed |] in
@@ -381,10 +498,10 @@ let verify_cmd =
           print_string (Gformat.to_string stg)
         end
       done);
-    if !failures = 0 then 0 else 1
+    if !failures = 0 then 0 else exit_verification
   in
   Cmd.v
-    (Cmd.info "verify"
+    (Cmd.info "verify" ~exits
        ~doc:
          "Conformance oracle: simulate the synthesized gate-level netlist \
           against the source STG under adversarial delays")
@@ -399,7 +516,7 @@ let dot_cmd =
     0
   in
   Cmd.v
-    (Cmd.info "dot" ~doc:"Emit the state graph in Graphviz dot syntax")
+    (Cmd.info "dot" ~exits ~doc:"Emit the state graph in Graphviz dot syntax")
     Term.(const run $ stg_arg)
 
 let () =
@@ -408,6 +525,7 @@ let () =
     Cmd.group
       (Cmd.info "mpsyn" ~version:"1.0.0" ~doc)
       [
+        lint_cmd;
         info_cmd;
         synth_cmd;
         bench_cmd;
@@ -418,4 +536,4 @@ let () =
         verify_cmd;
       ]
   in
-  exit (Cmd.eval' cmd)
+  exit (Cmd.eval' ~term_err:exit_usage cmd)

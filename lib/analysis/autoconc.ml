@@ -1,0 +1,49 @@
+let rule = "A5-autoconcurrency"
+
+(* [w(p1) + w(p2) > token_sum] for pre-places of both transitions proves
+   the pair can never be co-enabled as a step; [p1 = p2] degenerates to
+   the shared-bounded-place (structural conflict) case. *)
+let mutex_by_invariant invs net t1 t2 =
+  let pre1 = Petri.pre net t1 and pre2 = Petri.pre net t2 in
+  List.exists
+    (fun inv ->
+      let w = inv.Invariants.weights in
+      List.exists
+        (fun p1 ->
+          List.exists (fun p2 -> w.(p1) + w.(p2) > inv.Invariants.token_sum) pre2)
+        pre1)
+    invs
+
+let check ~loc stg ~pinvs =
+  match pinvs with
+  | None -> []
+  | Some invs ->
+    let net = Stg.net stg in
+    let diags = ref [] in
+    for s = 0 to Stg.n_signals stg - 1 do
+      let ts = Stg.transitions_of stg s in
+      let rec pairs = function
+        | [] -> ()
+        | t1 :: rest ->
+          List.iter
+            (fun t2 ->
+              if not (mutex_by_invariant invs net t1 t2) then
+                diags :=
+                  Diagnostic.v ~rule ~severity:Warning ~loc
+                    ~subject:(Trans (Petri.transition_name net t1))
+                    ~hint:"order the two transitions, or route both \
+                           through a common 1-safe choice place"
+                    (Printf.sprintf "may be concurrent with %s"
+                       (Petri.transition_name net t2))
+                    "no place invariant proves the two transitions of \
+                     this signal mutually exclusive; if they can fire \
+                     concurrently the signal's wire behaviour is undefined \
+                     (over-approximation: a reachability check may still \
+                     rule it out)"
+                  :: !diags)
+            rest;
+          pairs rest
+      in
+      pairs ts
+    done;
+    List.rev !diags

@@ -1,0 +1,16 @@
+(** Rule A5: structural auto-concurrency over-approximation.
+
+    Two transitions of the same signal firing concurrently break STG
+    semantics (the wire cannot do two things at once).  The rule tries
+    to prove every same-signal pair mutually exclusive with a place
+    invariant: if some invariant gives [w(p1) + w(p2) > token_sum] for
+    pre-places [p1] of one and [p2] of the other (the same place counts
+    twice), the two can never be simultaneously fireable.  Pairs with
+    no such proof are flagged — an over-approximation, so findings are
+    warnings, not errors. *)
+
+val check :
+  loc:Diagnostic.locator ->
+  Stg.t ->
+  pinvs:Invariants.invariant list option ->
+  Diagnostic.t list

@@ -1,0 +1,77 @@
+let rule = "A4-deadcode"
+
+let potentially_fireable ?(unmarkable = fun _ -> false) net =
+  let np = Petri.n_places net and nt = Petri.n_transitions net in
+  let m0 = Petri.initial_marking net in
+  let markable = Array.make np false in
+  let fireable = Array.make nt false in
+  for p = 0 to np - 1 do
+    markable.(p) <- Marking.tokens m0 p > 0 && not (unmarkable p)
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for t = 0 to nt - 1 do
+      if not fireable.(t) && List.for_all (fun p -> markable.(p)) (Petri.pre net t)
+      then begin
+        fireable.(t) <- true;
+        changed := true;
+        List.iter
+          (fun p ->
+            if (not markable.(p)) && not (unmarkable p) then
+              markable.(p) <- true)
+          (Petri.post net t)
+      end
+    done
+  done;
+  fireable
+
+let check ~loc stg ~pinvs =
+  let net = Stg.net stg in
+  let unmarkable =
+    match pinvs with
+    | None -> fun _ -> false
+    | Some invs ->
+      let bounds = Safeness.structural_bounds net invs in
+      fun p -> bounds.(p) = Some 0
+  in
+  let fireable = potentially_fireable ~unmarkable net in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let trans t = Diagnostic.Trans (Petri.transition_name net t) in
+  for t = 0 to Petri.n_transitions net - 1 do
+    if not fireable.(t) then
+      emit
+        (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(trans t)
+           ~hint:"check the initial marking: some fanin place of this \
+                  transition is never fed a token"
+           "can never fire"
+           "no chain of firings starting from the initial marking can \
+            ever mark all of its fanin places, so the behaviour it \
+            specifies is unreachable");
+    if Petri.pre net t = [] then
+      emit
+        (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(trans t)
+           ~hint:"give the transition a fanin place closing its handshake \
+                  cycle"
+           "has no fanin places (source transition)"
+           "a transition with empty preset is permanently enabled and \
+            floods its fanout places: the net is structurally unbounded");
+    if Petri.post net t = [] then
+      emit
+        (Diagnostic.v ~rule ~severity:Warning ~loc ~subject:(trans t)
+           ~hint:"give the transition a fanout place; cyclic STG \
+                  specifications have no terminal events"
+           "has no fanout places (sink transition)"
+           "firing it destroys tokens, so the net cannot return to its \
+            initial marking and the specification is not cyclic")
+  done;
+  for p = 0 to Petri.n_places net - 1 do
+    if Petri.place_pre net p = [] && Petri.place_post net p = [] then
+      emit
+        (Diagnostic.v ~rule ~severity:Warning ~loc
+           ~subject:(Place (Petri.place_name net p))
+           ~hint:"delete the place or connect it to the flow relation"
+           "is isolated (no arcs)" "an orphan place constrains nothing")
+  done;
+  (List.rev !diags, fireable)

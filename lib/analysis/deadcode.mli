@@ -1,0 +1,22 @@
+(** Rule A4: dead transitions and structural orphans.
+
+    Potential fireability is the classical forward fixpoint: a place is
+    potentially markable when it is initially marked or some potentially
+    fireable transition feeds it; a transition is potentially fireable
+    when all its fanin places are potentially markable.  The fixpoint
+    over-approximates real fireability, so "not potentially fireable" is
+    a sound deadness proof.  Places proven unmarkable by a zero-sum
+    invariant (A2) sharpen the fixpoint further. *)
+
+(** [potentially_fireable ?unmarkable net] marks each transition that
+    the fixpoint cannot rule out.  [unmarkable p] may assert that place
+    [p] can never be marked (e.g. from a structural bound of 0). *)
+val potentially_fireable : ?unmarkable:(int -> bool) -> Petri.t -> bool array
+
+(** [check ~loc stg ~pinvs] emits A4 diagnostics and returns the
+    fireability array for reuse by other rules (A1 consistency). *)
+val check :
+  loc:Diagnostic.locator ->
+  Stg.t ->
+  pinvs:Invariants.invariant list option ->
+  Diagnostic.t list * bool array

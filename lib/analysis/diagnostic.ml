@@ -1,0 +1,143 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+type subject = Sig of string | Trans of string | Place of string | Net of string
+
+let subject_name = function Sig n | Trans n | Place n | Net n -> n
+
+let subject_label = function
+  | Sig n -> "signal " ^ n
+  | Trans n -> "transition " ^ n
+  | Place n -> "place " ^ n
+  | Net n -> n
+
+type locator = subject -> Gformat.span option
+
+let no_loc : locator = fun _ -> None
+
+let of_source_map map : locator = function
+  | Sig n -> Gformat.signal_span map n
+  | Trans n -> Gformat.transition_span map n
+  | Place n -> Gformat.place_span map n
+  | Net _ -> None
+
+type t = {
+  rule : string;
+  severity : severity;
+  span : Gformat.span option;
+  subject : subject;
+  message : string;
+  explanation : string;
+  hint : string option;
+}
+
+let v ~rule ~severity ~loc ~subject ?hint message explanation =
+  { rule; severity; span = loc subject; subject; message; explanation; hint }
+
+type report = { target : string; diagnostics : t list }
+
+let compare_diag a b =
+  let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let pos d =
+        match d.span with
+        | Some s -> (s.Gformat.line, s.Gformat.col_start)
+        | None -> (max_int, max_int)
+      in
+      let c = compare (pos a) (pos b) in
+      if c <> 0 then c else compare (subject_name a.subject) (subject_name b.subject)
+
+let report ~target diagnostics =
+  { target; diagnostics = List.stable_sort compare_diag diagnostics }
+
+let errors r = List.filter (fun d -> d.severity = Error) r.diagnostics
+let warnings r = List.filter (fun d -> d.severity = Warning) r.diagnostics
+let clean r = errors r = []
+let strict_clean r = clean r && warnings r = []
+
+let pp_diag ppf d =
+  Format.fprintf ppf "@[<v>%a[%s]%t %s: %s" pp_severity d.severity d.rule
+    (fun ppf ->
+      match d.span with
+      | None -> ()
+      | Some s -> Format.fprintf ppf " %a" Gformat.pp_span s)
+    (subject_label d.subject) d.message;
+  if d.explanation <> "" then Format.fprintf ppf "@,  note: %s" d.explanation;
+  (match d.hint with
+  | None -> ()
+  | Some h -> Format.fprintf ppf "@,  hint: %s" h);
+  Format.fprintf ppf "@]"
+
+let count sev r =
+  List.length (List.filter (fun d -> d.severity = sev) r.diagnostics)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>lint %s: %d error(s), %d warning(s), %d info@,"
+    r.target (count Error r) (count Warning r) (count Info r);
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp_diag d) r.diagnostics;
+  Format.fprintf ppf "@]"
+
+(* Hand-rolled JSON: the repo deliberately has no JSON dependency. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let subject_kind = function
+  | Sig _ -> "signal"
+  | Trans _ -> "transition"
+  | Place _ -> "place"
+  | Net _ -> "netlist"
+
+let diag_to_json d =
+  let b = Buffer.create 256 in
+  let field ?(first = false) k v =
+    if not first then Buffer.add_char b ',';
+    Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v)
+  in
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  Buffer.add_char b '{';
+  field ~first:true "rule" (str d.rule);
+  field "severity" (str (severity_to_string d.severity));
+  (match d.span with
+  | None -> field "span" "null"
+  | Some s ->
+    field "span"
+      (Printf.sprintf "{\"line\":%d,\"col_start\":%d,\"col_end\":%d}"
+         s.Gformat.line s.Gformat.col_start s.Gformat.col_end));
+  field "subject_kind" (str (subject_kind d.subject));
+  field "subject" (str (subject_name d.subject));
+  field "message" (str d.message);
+  field "explanation" (str d.explanation);
+  (match d.hint with
+  | None -> field "hint" "null"
+  | Some h -> field "hint" (str h));
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let to_json r =
+  Printf.sprintf
+    "{\"target\":\"%s\",\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d},\"diagnostics\":[%s]}"
+    (json_escape r.target) (count Error r) (count Warning r) (count Info r)
+    (String.concat "," (List.map diag_to_json r.diagnostics))

@@ -1,0 +1,27 @@
+(** Lint driver: runs every structural rule over an STG (or netlist)
+    and assembles a {!Diagnostic.report}.
+
+    All rules are purely structural — place/transition invariants,
+    graph traversals and fixpoints — and never construct the
+    reachability graph, so linting stays polynomial even when the state
+    space explodes.  Rules: A1 consistency, A2 safeness, A3 net class,
+    A4 dead code, A5 auto-concurrency, A6 lock-relation CSC prescreen;
+    A7 covers netlists. *)
+
+type result = {
+  report : Diagnostic.report;
+  cert : Lockrel.cert option;
+      (** present iff A6 certified CSC statically *)
+}
+
+(** [run ?map stg] lints [stg]; [map] (from
+    {!Gformat.parse_file_spans}) attaches source spans to findings. *)
+val run : ?map:Gformat.source_map -> Stg.t -> result
+
+(** [run_netlist nl] applies the A7 rules to a synthesized netlist. *)
+val run_netlist : Netlist.t -> Diagnostic.report
+
+(** [prescreen stg] is [(run stg).cert]: [Some _] means CSC holds
+    statically and SAT-based state-signal insertion can be skipped.
+    Sound but incomplete — [None] says nothing. *)
+val prescreen : Stg.t -> Lockrel.cert option

@@ -1,0 +1,144 @@
+let rule = "A6-lockrel"
+
+type cert = { pairs : (int * int) list; n_sms : int }
+
+(* A unit state-machine invariant: one token travels through [support];
+   every touching transition consumes from exactly one support place
+   ([pre_in]) and feeds exactly one ([post_in]). *)
+type sm = {
+  support : bool array;
+  pre_in : int array;  (** t → its support fanin place, or -1 *)
+  post_in : int array;
+}
+
+let state_machines net invs =
+  let nt = Petri.n_transitions net in
+  List.filter_map
+    (fun inv ->
+      if inv.Invariants.token_sum <> 1 then None
+      else if Array.exists (fun w -> w > 1) inv.Invariants.weights then None
+      else begin
+        let support = Array.map (fun w -> w = 1) inv.Invariants.weights in
+        let pre_in = Array.make nt (-1) and post_in = Array.make nt (-1) in
+        let ok = ref true in
+        for t = 0 to nt - 1 do
+          let inside ps =
+            List.sort_uniq compare (List.filter (fun p -> support.(p)) ps)
+          in
+          match (inside (Petri.pre net t), inside (Petri.post net t)) with
+          | [], [] -> ()
+          | [ p ], [ q ] ->
+            pre_in.(t) <- p;
+            post_in.(t) <- q
+          | _ -> ok := false
+        done;
+        if !ok then Some { support; pre_in; post_in } else None
+      end)
+    invs
+
+(* Token-travel alternation inside [sm]: from each transition of the
+   pair, every first-hit pair transition downstream must belong to the
+   other signal.  All consumers of a support place are touching (their
+   preset meets the support), so the walk stays inside the component. *)
+let alternates net sm ta tb =
+  let in_a = Hashtbl.create 8 and in_b = Hashtbl.create 8 in
+  List.iter (fun t -> Hashtbl.replace in_a t ()) ta;
+  List.iter (fun t -> Hashtbl.replace in_b t ()) tb;
+  let interesting t = Hashtbl.mem in_a t || Hashtbl.mem in_b t in
+  let covered = List.for_all (fun t -> sm.pre_in.(t) >= 0) (ta @ tb) in
+  covered
+  && List.for_all
+       (fun t0 ->
+         let want_b = Hashtbl.mem in_a t0 in
+         let visited = Hashtbl.create 16 in
+         let ok = ref true in
+         let rec walk p =
+           if not (Hashtbl.mem visited p) then begin
+             Hashtbl.replace visited p ();
+             List.iter
+               (fun t ->
+                 if sm.pre_in.(t) = p then
+                   if interesting t then begin
+                     if Hashtbl.mem in_a t = want_b then ok := false
+                   end
+                   else walk sm.post_in.(t))
+               (Petri.place_post net p)
+           end
+         in
+         walk sm.post_in.(t0);
+         !ok)
+       (ta @ tb)
+
+let locked_in stg sms a b =
+  let net = Stg.net stg in
+  let ta = Stg.transitions_of stg a and tb = Stg.transitions_of stg b in
+  ta <> [] && tb <> []
+  && List.exists (fun sm -> alternates net sm ta tb) sms
+
+let locked stg ~pinvs a b =
+  locked_in stg (state_machines (Stg.net stg) pinvs) a b
+
+let certify stg ~pinvs ~a1_clean ~a4_clean =
+  match pinvs with
+  | None -> Error "place-invariant generation was capped"
+  | Some invs ->
+    let net = Stg.net stg in
+    let bounds = Safeness.structural_bounds net invs in
+    if not a1_clean then Error "the STG has consistency (A1) errors"
+    else if not a4_clean then Error "the STG has dead-code (A4) errors"
+    else if
+      List.exists
+        (fun t ->
+          match Stg.label stg t with
+          | Stg.Event e -> e.Signal.dir = Signal.Toggle
+          | Stg.Dummy -> false)
+        (List.init (Petri.n_transitions net) Fun.id)
+    then Error "toggle transitions defeat structural alternation analysis"
+    else if Array.exists (fun b -> b <> Some 1) bounds then
+      Error "the net is not structurally 1-safe (some place lacks a unit \
+             invariant bound)"
+    else if Stg.non_inputs stg = [] then Error "no non-input signals"
+    else begin
+      let sms = state_machines net invs in
+      let all = List.init (Stg.n_signals stg) Fun.id in
+      let missing = ref None in
+      let pairs = ref [] in
+      List.iter
+        (fun o ->
+          List.iter
+            (fun s ->
+              if s <> o && !missing = None then
+                if locked_in stg sms o s then pairs := (o, s) :: !pairs
+                else missing := Some (o, s))
+            all)
+        (Stg.non_inputs stg);
+      match !missing with
+      | Some (o, s) ->
+        Error
+          (Printf.sprintf "signals %s and %s are not provably locked"
+             (Stg.signal_name stg o) (Stg.signal_name stg s))
+      | None -> Ok { pairs = List.rev !pairs; n_sms = List.length sms }
+    end
+
+let check ~loc stg ~pinvs ~a1_clean ~a4_clean =
+  let subject = Diagnostic.Net (Stg.name stg) in
+  match certify stg ~pinvs ~a1_clean ~a4_clean with
+  | Ok cert ->
+    ( [
+        Diagnostic.v ~rule ~severity:Info ~loc ~subject
+          (Printf.sprintf
+             "CSC certified statically: every non-input signal is locked \
+              with every signal (%d pairs, %d state machines)"
+             (List.length cert.pairs) cert.n_sms)
+          "distinct reachable states always differ in some signal value, \
+           so state-signal insertion (SAT) is unnecessary";
+      ],
+      Some cert )
+  | Error reason ->
+    ( [
+        Diagnostic.v ~rule ~severity:Info ~loc ~subject
+          (Printf.sprintf "CSC not certified statically: %s" reason)
+          "synthesis falls back to exact CSC conflict detection on the \
+           state graph";
+      ],
+      None )

@@ -1,0 +1,49 @@
+(** Rule A6: signal lock relation and static CSC certification.
+
+    Two signals are {e locked} when their transitions strictly alternate
+    in every execution (Lin & Lin 1991; Vanbekbergen 1992).  When every
+    non-input signal is locked with every other signal, any two distinct
+    reachable states differ in some signal value — unique state coding,
+    hence CSC — so SAT-based state-signal insertion can be skipped
+    entirely.
+
+    The structural witness used here is a {e unit state-machine
+    invariant}: a P-invariant with 0/1 weights and conserved sum 1 whose
+    support every touching transition enters and leaves exactly once.
+    Such a component carries a single token travelling through its
+    places; if all transitions of signals [a] and [b] lie on it and
+    every path inside it from an [a]-transition reaches a
+    [b]-transition before any other [a]-transition (and vice versa),
+    the token's travel order forces strict alternation. *)
+
+type cert = {
+  pairs : (int * int) list;
+      (** certified locked (non-input, other) signal-id pairs *)
+  n_sms : int;  (** unit state-machine invariants examined *)
+}
+
+(** [locked stg ~pinvs a b] holds when some unit state-machine invariant
+    witnesses strict alternation of signals [a] and [b]. *)
+val locked : Stg.t -> pinvs:Invariants.invariant list -> int -> int -> bool
+
+(** [certify stg ~pinvs ~a1_clean ~a4_clean] produces a CSC certificate
+    or a human-readable reason why none could be established.  The
+    certificate is only sound for consistent, structurally 1-safe nets
+    with no dead transitions, so the caller passes the verdicts of A1,
+    A2 and A4. *)
+val certify :
+  Stg.t ->
+  pinvs:Invariants.invariant list option ->
+  a1_clean:bool ->
+  a4_clean:bool ->
+  (cert, string) result
+
+(** [check ~loc stg ~pinvs ~a1_clean ~a4_clean] wraps {!certify} as an
+    informational diagnostic and returns the certificate if any. *)
+val check :
+  loc:Diagnostic.locator ->
+  Stg.t ->
+  pinvs:Invariants.invariant list option ->
+  a1_clean:bool ->
+  a4_clean:bool ->
+  Diagnostic.t list * cert option

@@ -1,0 +1,96 @@
+let rule = "A3-netclass"
+
+type net_class = Marked_graph | Free_choice | Asymmetric_choice | General
+
+let class_name = function
+  | Marked_graph -> "marked graph"
+  | Free_choice -> "free choice"
+  | Asymmetric_choice -> "asymmetric choice"
+  | General -> "general"
+
+let sorted_post net p = List.sort_uniq compare (Petri.place_post net p)
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+let is_asymmetric_choice net =
+  let np = Petri.n_places net in
+  let posts = Array.init np (sorted_post net) in
+  let ok = ref true in
+  for p = 0 to np - 1 do
+    for q = p + 1 to np - 1 do
+      if !ok && List.exists (fun t -> List.mem t posts.(q)) posts.(p) then
+        if not (subset posts.(p) posts.(q) || subset posts.(q) posts.(p)) then
+          ok := false
+    done
+  done;
+  !ok
+
+let classify net =
+  if Petri.is_marked_graph net then Marked_graph
+  else if Petri.is_free_choice net then Free_choice
+  else if is_asymmetric_choice net then Asymmetric_choice
+  else General
+
+(* Cap per-place violation notes so a heavily shared net stays readable. *)
+let max_notes = 8
+
+let check ~loc stg =
+  let net = Stg.net stg in
+  let cls = classify net in
+  let place p = Diagnostic.Place (Petri.place_name net p) in
+  let head =
+    Diagnostic.v ~rule ~severity:Info ~loc
+      ~subject:(Diagnostic.Net (Stg.name stg))
+      (Printf.sprintf "net class: %s" (class_name cls))
+      (match cls with
+      | Marked_graph ->
+        "no choice places: the specification is purely concurrent"
+      | Free_choice ->
+        "choice and concurrency never interfere; free-choice structural \
+         theory applies"
+      | Asymmetric_choice ->
+        "choices are nested but never symmetric; confusion-free \
+         behaviour is not guaranteed structurally"
+      | General ->
+        "choice and concurrency interfere (possible confusion); \
+         structural guarantees beyond invariants do not apply")
+  in
+  let notes = ref [] in
+  let emitted = ref 0 in
+  let emit d =
+    incr emitted;
+    if !emitted <= max_notes then notes := d :: !notes
+  in
+  (match cls with
+  | Marked_graph | Free_choice -> ()
+  | Asymmetric_choice | General ->
+    for p = 0 to Petri.n_places net - 1 do
+      let post = sorted_post net p in
+      if List.length post > 1 then
+        let non_fc =
+          List.filter
+            (fun t -> List.sort_uniq compare (Petri.pre net t) <> [ p ])
+            post
+        in
+        if non_fc <> [] then
+          emit
+            (Diagnostic.v ~rule ~severity:Info ~loc ~subject:(place p)
+               (Printf.sprintf
+                  "choice place shared with synchronisation at %s"
+                  (String.concat ", "
+                     (List.map (Petri.transition_name net) non_fc)))
+               "a consumer of this choice place has further fanin places, \
+                so resolving the choice depends on concurrent context")
+    done);
+  let overflow =
+    if !emitted > max_notes then
+      [
+        Diagnostic.v ~rule ~severity:Info ~loc
+          ~subject:(Diagnostic.Net (Stg.name stg))
+          (Printf.sprintf "%d further free-choice violations not shown"
+             (!emitted - max_notes))
+          "";
+      ]
+    else []
+  in
+  (head :: List.rev !notes) @ overflow

@@ -1,0 +1,20 @@
+(** Rule A3: structural net-class classification.
+
+    Classifies the underlying net as marked graph ⊂ free choice ⊂
+    asymmetric (extended simple) choice ⊂ general, and points at the
+    individual places that break each class.  The class determines
+    which synthesis guarantees apply: marked graphs have no choice at
+    all, free-choice nets keep choice and concurrency separate, and
+    beyond asymmetric choice the standard structural theory (and the
+    paper's partitioning assumptions) gives no guarantees. *)
+
+type net_class = Marked_graph | Free_choice | Asymmetric_choice | General
+
+val class_name : net_class -> string
+
+(** [classify net] is the tightest class the net belongs to. *)
+val classify : Petri.t -> net_class
+
+(** [check ~loc stg] emits one classification info plus per-place
+    violation notes (informational: unusual structure, not a defect). *)
+val check : loc:Diagnostic.locator -> Stg.t -> Diagnostic.t list

@@ -1,0 +1,129 @@
+let rule = "A7-netlist"
+
+let gate_out = function
+  | Netlist.Inv { out; _ }
+  | Netlist.And { out; _ }
+  | Netlist.Or { out; _ }
+  | Netlist.Wire { out; _ }
+  | Netlist.Const { out; _ } ->
+    out
+
+let gate_inputs = function
+  | Netlist.Inv { input; _ } | Netlist.Wire { input; _ } -> [ input ]
+  | Netlist.And { inputs; _ } | Netlist.Or { inputs; _ } -> inputs
+  | Netlist.Const _ -> []
+
+let check ~loc (nl : Netlist.t) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let wire w = Diagnostic.Sig w in
+  let driver_count = Hashtbl.create 32 in
+  List.iter
+    (fun g ->
+      let o = gate_out g in
+      Hashtbl.replace driver_count o
+        (1 + Option.value ~default:0 (Hashtbl.find_opt driver_count o)))
+    nl.gates;
+  let driven w = Hashtbl.mem driver_count w in
+  let available w = driven w || List.mem w nl.inputs in
+  (* multiply driven / driving a primary input *)
+  Hashtbl.iter
+    (fun w n ->
+      if n > 1 then
+        emit
+          (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(wire w)
+             ~hint:"merge the drivers through an OR gate or rename one output"
+             (Printf.sprintf "wire is driven by %d gates" n)
+             "two gate outputs shorted together fight electrically; the \
+              netlist is not well-formed structural logic");
+      if List.mem w nl.inputs then
+        emit
+          (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(wire w)
+             ~hint:"primary inputs belong to the environment; rename the \
+                    gate output"
+             "gate drives a primary input"
+             "the environment drives input wires; a gate contending with \
+              it is a short"))
+    driver_count;
+  (* floating gate inputs *)
+  let reported = Hashtbl.create 8 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun i ->
+          if (not (available i)) && not (Hashtbl.mem reported i) then begin
+            Hashtbl.replace reported i ();
+            emit
+              (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(wire i)
+                 ~hint:"connect the wire to a gate output or declare it an \
+                        input"
+                 "gate input is floating (no driver)"
+                 "a floating CMOS input settles to an undefined level and \
+                  can make the gate oscillate or draw static current")
+          end)
+        (gate_inputs g))
+    nl.gates;
+  (* undriven primary outputs *)
+  List.iter
+    (fun o ->
+      if not (driven o) then
+        emit
+          (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(wire o)
+             ~hint:"every implemented signal needs a driving gate"
+             "primary output has no driver" "the output wire floats"))
+    nl.outputs;
+  (* unused gate outputs *)
+  let consumed = Hashtbl.create 32 in
+  List.iter
+    (fun g -> List.iter (fun i -> Hashtbl.replace consumed i ()) (gate_inputs g))
+    nl.gates;
+  List.iter
+    (fun g ->
+      let o = gate_out g in
+      if (not (Hashtbl.mem consumed o)) && not (List.mem o nl.outputs) then
+        emit
+          (Diagnostic.v ~rule ~severity:Warning ~loc ~subject:(wire o)
+             ~hint:"delete the gate"
+             "gate output is never used"
+             "dead logic costs area and power and usually indicates a \
+              synthesis or editing mistake"))
+    nl.gates;
+  (* combinational cycles avoiding every state-holding (output) wire.
+     Feedback through an implemented output is the SOP latch; anything
+     else is an unintended ring. *)
+  let adj = Hashtbl.create 32 in
+  List.iter
+    (fun g ->
+      let o = gate_out g in
+      if not (List.mem o nl.outputs) then
+        List.iter
+          (fun i ->
+            if not (List.mem i nl.outputs) then
+              Hashtbl.replace adj i
+                (o :: Option.value ~default:[] (Hashtbl.find_opt adj i)))
+          (gate_inputs g))
+    nl.gates;
+  let color = Hashtbl.create 32 in
+  let cycle_at = ref None in
+  let rec dfs w =
+    match Hashtbl.find_opt color w with
+    | Some `Done -> ()
+    | Some `Active -> if !cycle_at = None then cycle_at := Some w
+    | None ->
+      Hashtbl.replace color w `Active;
+      List.iter dfs (Option.value ~default:[] (Hashtbl.find_opt adj w));
+      Hashtbl.replace color w `Done
+  in
+  Hashtbl.iter (fun w _ -> dfs w) adj;
+  (match !cycle_at with
+  | None -> ()
+  | Some w ->
+    emit
+      (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(wire w)
+         ~hint:"break the loop, or route the feedback through the \
+                implemented signal's own output wire"
+         "combinational cycle not passing through a state-holding wire"
+         "a feedback loop that avoids every implemented output is an \
+          uncontrolled ring: it either oscillates or latches \
+          unpredictably"));
+  List.rev !diags

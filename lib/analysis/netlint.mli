@@ -1,0 +1,11 @@
+(** Rule A7: structural netlist lints.
+
+    Cheap well-formedness checks on the gate-level output: floating
+    (undriven) wires, multiply-driven wires, combinational cycles that
+    do not pass through a state-holding feedback wire, undriven primary
+    outputs, and gates whose output goes nowhere.  Feedback through an
+    implemented output wire is legitimate — that is how the SOP
+    next-state functions hold state — so only cycles avoiding all
+    output wires are flagged. *)
+
+val check : loc:Diagnostic.locator -> Netlist.t -> Diagnostic.t list

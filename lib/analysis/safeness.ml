@@ -1,0 +1,68 @@
+let rule = "A2-safeness"
+
+let structural_bounds net invs =
+  let n = Petri.n_places net in
+  let bounds = Array.make n None in
+  List.iter
+    (fun inv ->
+      Array.iteri
+        (fun p w ->
+          if w > 0 then
+            let b = inv.Invariants.token_sum / w in
+            match bounds.(p) with
+            | None -> bounds.(p) <- Some b
+            | Some b' -> if b < b' then bounds.(p) <- Some b)
+        inv.Invariants.weights)
+    invs;
+  bounds
+
+let check ~loc stg ~pinvs =
+  let net = Stg.net stg in
+  let m0 = Petri.initial_marking net in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let place p = Diagnostic.Place (Petri.place_name net p) in
+  for p = 0 to Petri.n_places net - 1 do
+    if Marking.tokens m0 p > 1 then
+      emit
+        (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(place p)
+           ~hint:"reduce the initial marking of this place to at most one token"
+           (Printf.sprintf "initially carries %d tokens" (Marking.tokens m0 p))
+           "STG semantics require 1-safe nets: a place holding several \
+            tokens makes signal transitions auto-concurrent with themselves")
+  done;
+  (match pinvs with
+  | None -> ()
+  | Some invs ->
+    let bounds = structural_bounds (Stg.net stg) invs in
+    Array.iteri
+      (fun p b ->
+        match b with
+        | Some 1 -> ()
+        | Some 0 ->
+          emit
+            (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(place p)
+               ~hint:"add a token to the cycle through this place, or remove it"
+               "can never be marked (its conserved token sum is 0)"
+               "a place invariant proves the weighted token count through \
+                this place is always zero, so every transition consuming \
+                from it is dead")
+        | Some b ->
+          emit
+            (Diagnostic.v ~rule ~severity:Error ~loc ~subject:(place p)
+               ~hint:"split the place or restructure the cycle so each \
+                      invariant carries a single token"
+               (Printf.sprintf "structural token bound is %d" b)
+               "the tightest place invariant through this place allows \
+                more than one token, so the net is not structurally 1-safe")
+        | None ->
+          emit
+            (Diagnostic.v ~rule ~severity:Warning ~loc ~subject:(place p)
+               ~hint:"close the handshake cycle through this place so a \
+                      token-conserving invariant covers it"
+               "not covered by any place invariant"
+               "uncovered places have no structural boundedness \
+                certificate; the net may still be 1-safe, but only a \
+                state-space search can tell"))
+      bounds);
+  List.rev !diags

@@ -1,0 +1,22 @@
+(** Rule A2: structural 1-safeness via place-invariant covers.
+
+    A place whose weight appears in a P-invariant [y] with conserved sum
+    [k] can never hold more than [k / y(p)] tokens, in any reachable
+    marking — no reachability analysis needed.  Places covered with
+    bound 1 are structurally 1-safe; uncovered places get a warning
+    (safeness may still hold, but there is no structural proof), and
+    places with structural bound 0 can never be marked at all. *)
+
+(** [structural_bounds net invs] gives, for every place, the tightest
+    token bound provable from the invariants ([None] = uncovered). *)
+val structural_bounds :
+  Petri.t -> Invariants.invariant list -> int option array
+
+(** [check ~loc stg ~pinvs] emits A2 diagnostics.  [pinvs = None] means
+    invariant generation was capped; the rule then stays silent (the
+    driver reports the cap once). *)
+val check :
+  loc:Diagnostic.locator ->
+  Stg.t ->
+  pinvs:Invariants.invariant list option ->
+  Diagnostic.t list

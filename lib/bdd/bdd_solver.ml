@@ -3,6 +3,7 @@ type result = Sat of bool array | Unsat | Blowup
 exception Too_big
 
 let solve ?(node_limit = 300_000) cnf =
+  Solver_calls.bump ();
   if Cnf.has_empty_clause cnf then Unsat
   else begin
     let mgr = Bdd.manager () in

@@ -24,6 +24,27 @@ let concurrent_pulsers ~branches =
   let outputs = List.init branches (Printf.sprintf "a%d") in
   compile ~name:(Printf.sprintf "pulsers%d" branches) ~inputs ~outputs proc
 
+(* A daisy-chain token ring: all signals rise in order, then all fall in
+   order.  Between two successive events of any signal exactly one event
+   of every other signal occurs, so all signal pairs are locked (they
+   strictly alternate in every execution) and the state codes are
+   pairwise distinct: CSC holds by construction.  This is the family the
+   A6 lock-relation prescreen certifies statically, letting synthesis
+   skip SAT outright. *)
+let lock_ring ~signals =
+  if signals < 2 || signals > 26 then invalid_arg "Bench_gen.lock_ring";
+  let name i = Printf.sprintf "s%d" i in
+  let proc =
+    seq
+      (List.init signals (fun i -> plus (name i))
+      @ List.init signals (fun i -> minus (name i)))
+  in
+  compile
+    ~name:(Printf.sprintf "lockring%d" signals)
+    ~inputs:[ name 0 ]
+    ~outputs:(List.init (signals - 1) (fun i -> name (i + 1)))
+    proc
+
 (* Random well-formed STGs for the differential fuzzing oracle: a small
    tree of seq/par/choice combinators whose leaves are four-phase pulses
    on fresh request/acknowledge pairs.  Every leaf returns its signals

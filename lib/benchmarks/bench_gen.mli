@@ -24,6 +24,13 @@ val concurrent_pulsers : branches:int -> Stg.t
 (** [mixed ~stages ~branches] chains [stages] concurrent sections. *)
 val mixed : stages:int -> branches:int -> Stg.t
 
+(** [lock_ring ~signals] builds a daisy-chain token ring over [signals]
+    wires (all rise in order, then all fall): every signal pair strictly
+    alternates, so the lock-relation prescreen (lint rule A6) certifies
+    CSC statically and synthesis needs no SAT at all.
+    [2 ≤ signals ≤ 26]. *)
+val lock_ring : signals:int -> Stg.t
+
 (** [random ~rand] draws a small well-formed STG: a random seq/par/choice
     tree whose leaves are four-phase pulses on fresh request/acknowledge
     pairs (at most 4 pulses, so state spaces stay explorable).  Always

@@ -10,6 +10,7 @@ type config = {
   backend : [ `Sat | `Dpll | `Bdd ];
   normalize_modules : bool;
   exact_covers : bool;
+  prescreen : bool;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     backend = `Sat;
     normalize_modules = true;
     exact_covers = false;
+    prescreen = true;
   }
 
 type formula_size = Csc_direct.formula_size = { vars : int; clauses : int }
@@ -45,6 +47,7 @@ type result = {
   functions : Derive.func list;
   modules : module_report list;
   fallback : module_report option;
+  csc_certified : bool;
   elapsed : float;
 }
 
@@ -97,7 +100,7 @@ let solve_module ~config ~fresh_name complete (inp : Input_derivation.t) =
     (!complete, List.rev !names, report)
 
 let module_report complete (inp : Input_derivation.t)
-    (sat : Modular_sat.report option) ~new_signals =
+    (sat : Modular_sat.report option) ~conflicts ~new_signals =
   {
     output_name = Sg.signal_name complete inp.Input_derivation.output;
     input_set = List.map (Sg.signal_name complete) inp.Input_derivation.input_set;
@@ -105,18 +108,14 @@ let module_report complete (inp : Input_derivation.t)
     kept_extras = inp.Input_derivation.kept_extras;
     module_states = Sg.n_states inp.Input_derivation.module_sg;
     module_edges = Sg.n_edges inp.Input_derivation.module_sg;
-    module_conflicts =
-      Csc.n_output_conflicts inp.Input_derivation.module_sg
-        ~output:
-          (Sg.find_signal inp.Input_derivation.module_sg
-             (Sg.signal_name complete inp.Input_derivation.output));
+    module_conflicts = conflicts;
     new_signals;
     formulas = (match sat with None -> [] | Some r -> r.Modular_sat.formulas);
     sat_elapsed =
       (match sat with None -> 0.0 | Some r -> r.Modular_sat.elapsed);
   }
 
-let synthesize_sg ?(config = default_config) complete =
+let synthesize_sg ?(config = default_config) ?(csc_certified = false) complete =
   let t0 = Sys.time () in
   let counter = ref 0 in
   let fresh_name () =
@@ -141,11 +140,18 @@ let synthesize_sg ?(config = default_config) complete =
           m "module %s: %d states, solving"
             (Sg.signal_name complete o)
             (Sg.n_states inp.Input_derivation.module_sg));
+      (* A static CSC certificate (lock-relation prescreen, rule A6)
+         guarantees the complete graph is conflict-free, so the module
+         quotients need no state signals: skip conflict counting and the
+         SAT engine outright.  Artifact conflicts a quotient would show
+         are exactly the pairs the certificate proves spurious. *)
       let conflicts =
-        Csc.n_output_conflicts inp.Input_derivation.module_sg
-          ~output:
-            (Sg.find_signal inp.Input_derivation.module_sg
-               (Sg.signal_name !current o))
+        if csc_certified then 0
+        else
+          Csc.n_output_conflicts inp.Input_derivation.module_sg
+            ~output:
+              (Sg.find_signal inp.Input_derivation.module_sg
+                 (Sg.signal_name !current o))
       in
       let updated, new_signals, sat =
         if conflicts = 0 then (!current, [], None)
@@ -159,7 +165,7 @@ let synthesize_sg ?(config = default_config) complete =
         (Sg.signal_name complete o)
         (List.map (Sg.signal_name complete) inp.Input_derivation.input_set
         @ inp.Input_derivation.kept_extras @ new_signals);
-      reports := module_report !current inp sat ~new_signals :: !reports)
+      reports := module_report !current inp sat ~conflicts ~new_signals :: !reports)
     outputs;
   (* Fallback: conflicts invisible to every module. *)
   let fallback = ref None in
@@ -347,21 +353,35 @@ let synthesize_sg ?(config = default_config) complete =
     functions;
     modules = List.rev !reports;
     fallback = !fallback;
+    csc_certified;
     elapsed = Sys.time () -. t0;
   }
 
+(* The prescreen is purely structural (rule A6): when every non-input
+   signal is provably locked with every signal, the state graph has
+   unique state codes and the SAT machinery can be bypassed.  The
+   dynamic [Csc.csc_satisfied] checks downstream stay in place as a
+   safety net, so an over-eager certificate degrades to a normal run
+   rather than a wrong circuit. *)
+let certificate config stg =
+  config.prescreen && Lint.prescreen stg <> None
+
 let synthesize ?(config = default_config) stg =
+  let csc_certified = certificate config stg in
   let complete = Sg.of_stg ~max_states:config.max_states stg in
-  synthesize_sg ~config complete
+  synthesize_sg ~config ~csc_certified complete
 
 let synthesize_best ?(config = default_config) stg =
+  let csc_certified = certificate config stg in
   let complete = Sg.of_stg ~max_states:config.max_states stg in
   let area r = Derive.total_literals r.functions in
   let candidates =
     List.filter_map
       (fun normalize_modules ->
         match
-          synthesize_sg ~config:{ config with normalize_modules } complete
+          synthesize_sg
+            ~config:{ config with normalize_modules }
+            ~csc_certified complete
         with
         | r -> Some r
         | exception Synthesis_failed _ -> None)
@@ -395,6 +415,9 @@ let pp_report ppf r =
     "@[<v>modular synthesis: %d -> %d states, %d -> %d signals, %d literals, %.3fs@,"
     (initial_states r) (final_states r) (initial_signals r) (final_signals r)
     (area_literals r) r.elapsed;
+  if r.csc_certified then
+    Format.fprintf ppf
+      "  CSC certified statically (lock relation); SAT skipped@,";
   List.iter
     (fun m ->
       Format.fprintf ppf "  %s: |Is|=%d, %d module states, %d conflicts%s@,"

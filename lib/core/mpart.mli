@@ -33,6 +33,10 @@ type config = {
   exact_covers : bool;
       (** minimize covers with {!Exact} instead of {!Espresso}
           (default false; exact falls back to the heuristic on caps) *)
+  prescreen : bool;
+      (** run the structural lock-relation CSC prescreen (lint rule A6)
+          before building state graphs; a certificate lets the whole
+          SAT pipeline be skipped (default true) *)
 }
 
 val default_config : config
@@ -61,6 +65,9 @@ type result = {
   modules : module_report list;
   fallback : module_report option;
       (** the final direct pass, when modules left conflicts behind *)
+  csc_certified : bool;
+      (** the lock-relation prescreen proved CSC statically, so no
+          module invoked a solver *)
   elapsed : float;
 }
 
@@ -72,9 +79,12 @@ exception Synthesis_failed of string
     @raise Sg.Inconsistent if the STG has no consistent assignment *)
 val synthesize : ?config:config -> Stg.t -> result
 
-(** [synthesize_sg ?config ~name sg] is the same flow starting from an
-    already-derived complete state graph (used by baselines and tests). *)
-val synthesize_sg : ?config:config -> Sg.t -> result
+(** [synthesize_sg ?config ?csc_certified sg] is the same flow starting
+    from an already-derived complete state graph (used by baselines and
+    tests).  [csc_certified] asserts a static CSC certificate for [sg]
+    (the caller ran the prescreen); modules then skip conflict analysis
+    and SAT. *)
+val synthesize_sg : ?config:config -> ?csc_certified:bool -> Sg.t -> result
 
 (** [synthesize_best ?config stg] runs a small configuration portfolio
     (module normalization on and off — the greedy pipeline is chaotic

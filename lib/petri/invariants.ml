@@ -1,4 +1,5 @@
 type invariant = { weights : int array; token_sum : int }
+type t_invariant = { counts : int array }
 
 exception Too_many of int
 
@@ -19,65 +20,69 @@ let normalize r =
   let g = gcd_row r in
   if g > 1 then Array.map (fun x -> x / g) r else Array.copy r
 
-(* Farkas algorithm: rows are (weights over places | current column values
-   of yᵀC).  Eliminate transitions one at a time by combining rows with
-   opposite signs. *)
-let p_invariants ?(max_rows = 4096) net =
-  let np = Petri.n_places net and nt = Petri.n_transitions net in
-  let c = incidence net in
-  (* each row: (y : int array of length np, v : int array of length nt) *)
+(* Farkas algorithm over an arbitrary [dim × ncons] matrix [m]: compute a
+   generating set of the minimal non-negative integer vectors [y] with
+   [yᵀ·m = 0].  Rows are (y | current value of yᵀ·m); constraints are
+   eliminated one at a time by combining rows of opposite sign.
+   P-invariants run this on the incidence matrix (places × transitions),
+   T-invariants on its transpose. *)
+let farkas ~max_rows m =
+  let dim = Array.length m in
+  let ncons = if dim = 0 then 0 else Array.length m.(0) in
   let rows =
     ref
-      (List.init np (fun p ->
-           let y = Array.make np 0 in
-           y.(p) <- 1;
-           (y, Array.copy c.(p))))
+      (List.init dim (fun i ->
+           let y = Array.make dim 0 in
+           y.(i) <- 1;
+           (y, Array.copy m.(i))))
   in
-  for t = 0 to nt - 1 do
-    let zero, nonzero = List.partition (fun (_, v) -> v.(t) = 0) !rows in
-    let pos = List.filter (fun (_, v) -> v.(t) > 0) nonzero in
-    let neg = List.filter (fun (_, v) -> v.(t) < 0) nonzero in
+  for k = 0 to ncons - 1 do
+    let zero, nonzero = List.partition (fun (_, v) -> v.(k) = 0) !rows in
+    let pos = List.filter (fun (_, v) -> v.(k) > 0) nonzero in
+    let neg = List.filter (fun (_, v) -> v.(k) < 0) nonzero in
     let combined =
       List.concat_map
         (fun (y1, v1) ->
           List.map
             (fun (y2, v2) ->
-              let a = v1.(t) and b = -v2.(t) in
-              let y = Array.init np (fun p -> (b * y1.(p)) + (a * y2.(p))) in
-              let v = Array.init nt (fun u -> (b * v1.(u)) + (a * v2.(u))) in
+              let a = v1.(k) and b = -v2.(k) in
+              let y = Array.init dim (fun i -> (b * y1.(i)) + (a * y2.(i))) in
+              let v =
+                Array.init ncons (fun u -> (b * v1.(u)) + (a * v2.(u)))
+              in
               let g = max 1 (gcd (gcd_row y) (gcd_row v)) in
-              ( Array.map (fun x -> x / g) y,
-                Array.map (fun x -> x / g) v ))
+              (Array.map (fun x -> x / g) y, Array.map (fun x -> x / g) v))
             neg)
         pos
     in
     rows := zero @ combined;
     if List.length !rows > max_rows then raise (Too_many max_rows)
   done;
-  (* minimality: drop any invariant whose support strictly contains the
+  (* minimality: drop any vector whose support strictly contains the
      support of another *)
   let ys = List.sort_uniq compare (List.map (fun (y, _) -> normalize y) !rows) in
   let support y =
     let s = ref [] in
-    Array.iteri (fun p w -> if w > 0 then s := p :: !s) y;
+    Array.iteri (fun i w -> if w > 0 then s := i :: !s) y;
     !s
   in
-  let subset a b = List.for_all (fun p -> List.mem p b) a in
-  let minimal =
-    List.filter
-      (fun y ->
-        let s = support y in
-        s <> []
-        && not
-             (List.exists
-                (fun y' ->
-                  y' <> y
-                  &&
-                  let s' = support y' in
-                  subset s' s && not (subset s s'))
-                ys))
-      ys
-  in
+  let subset a b = List.for_all (fun i -> List.mem i b) a in
+  List.filter
+    (fun y ->
+      let s = support y in
+      s <> []
+      && not
+           (List.exists
+              (fun y' ->
+                y' <> y
+                &&
+                let s' = support y' in
+                subset s' s && not (subset s s'))
+              ys))
+    ys
+
+let p_invariants ?(max_rows = 4096) net =
+  let minimal = farkas ~max_rows (incidence net) in
   let initial = Petri.initial_marking net in
   List.map
     (fun y ->
@@ -85,6 +90,12 @@ let p_invariants ?(max_rows = 4096) net =
       Array.iteri (fun p w -> sum := !sum + (w * Marking.tokens initial p)) y;
       { weights = y; token_sum = !sum })
     minimal
+
+let t_invariants ?(max_rows = 4096) net =
+  let c = incidence net in
+  let np = Petri.n_places net and nt = Petri.n_transitions net in
+  let ct = Array.init nt (fun t -> Array.init np (fun p -> c.(p).(t))) in
+  List.map (fun x -> { counts = x }) (farkas ~max_rows ct)
 
 let covered net invs =
   let np = Petri.n_places net in
@@ -112,3 +123,17 @@ let pp net ppf inv =
       end)
     inv.weights;
   Format.fprintf ppf ") = %d" inv.token_sum
+
+let pp_t net ppf (ti : t_invariant) =
+  Format.fprintf ppf "[";
+  let first = ref true in
+  Array.iteri
+    (fun t k ->
+      if k > 0 then begin
+        if not !first then Format.fprintf ppf " ";
+        first := false;
+        if k = 1 then Format.fprintf ppf "%s" (Petri.transition_name net t)
+        else Format.fprintf ppf "%d·%s" k (Petri.transition_name net t)
+      end)
+    ti.counts;
+  Format.fprintf ppf "]"

@@ -15,6 +15,16 @@ type invariant = {
   token_sum : int;  (** the conserved quantity under the initial marking *)
 }
 
+type t_invariant = {
+  counts : int array;  (** one non-negative firing count per transition *)
+}
+(** A T-invariant is a rational vector [x ≥ 0] with [C·x = 0]: firing
+    every transition [t] exactly [x.(t)] times (in some realizable order)
+    reproduces the marking it started from.  Every cycle of the
+    reachability graph induces one, which is what makes T-invariants the
+    structural proxy for cyclic behaviour: a property that fails on some
+    generating T-invariant fails on a candidate cyclic execution. *)
+
 exception Too_many of int
 (** Raised when intermediate rows exceed the cap; carries the cap. *)
 
@@ -27,6 +37,12 @@ val incidence : Petri.t -> int array array
     @param max_rows growth cap for the elimination (default 4096). *)
 val p_invariants : ?max_rows:int -> Petri.t -> invariant list
 
+(** [t_invariants ?max_rows net] computes a generating set of minimal
+    non-negative T-invariants by running the same elimination on the
+    transposed incidence matrix.
+    @param max_rows growth cap for the elimination (default 4096). *)
+val t_invariants : ?max_rows:int -> Petri.t -> t_invariant list
+
 (** [covered net invs] holds when every place has positive weight in some
     invariant — a structural boundedness certificate. *)
 val covered : Petri.t -> invariant list -> bool
@@ -36,3 +52,4 @@ val covered : Petri.t -> invariant list -> bool
 val check : Petri.t -> invariant -> Marking.t -> bool
 
 val pp : Petri.t -> Format.formatter -> invariant -> unit
+val pp_t : Petri.t -> Format.formatter -> t_invariant -> unit

@@ -147,6 +147,7 @@ let undo_to s pos =
 type decision = { var : int; first_phase : bool; pos : int; mutable flipped : bool }
 
 let solve ?backtrack_limit ?(time_limit = infinity) f =
+  Solver_calls.bump ();
   let t0 = Sys.time () in
   let finish s result =
     ( result,

@@ -1,0 +1,4 @@
+let calls = ref 0
+let bump () = incr calls
+let total () = !calls
+let reset () = calls := 0

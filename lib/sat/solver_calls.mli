@@ -1,0 +1,16 @@
+(** Process-wide solver invocation counter.
+
+    Every constraint-engine entry point ({!Dpll.solve}, {!Walksat.solve}
+    and the BDD backend) bumps this counter once per call.  Tests use the
+    delta around a synthesis run to {e prove} that a static certificate
+    (the lock-relation CSC prescreen) made the flow skip constraint
+    solving entirely, rather than merely believing it did. *)
+
+(** [bump ()] records one solver invocation. *)
+val bump : unit -> unit
+
+(** [total ()] is the number of invocations since start (or last reset). *)
+val total : unit -> int
+
+(** [reset ()] zeroes the counter (single-threaded test use only). *)
+val reset : unit -> unit

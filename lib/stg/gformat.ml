@@ -1,7 +1,41 @@
 exception Parse_error of string
 
+type span = { line : int; col_start : int; col_end : int }
+
+type source_map = {
+  signal_spans : (string, span) Hashtbl.t;
+  transition_spans : (string, span) Hashtbl.t;
+  place_spans : (string, span) Hashtbl.t;
+}
+
+let empty_map () =
+  {
+    signal_spans = Hashtbl.create 16;
+    transition_spans = Hashtbl.create 64;
+    place_spans = Hashtbl.create 32;
+  }
+
+let signal_span map n = Hashtbl.find_opt map.signal_spans n
+let transition_span map n = Hashtbl.find_opt map.transition_spans n
+let place_span map n = Hashtbl.find_opt map.place_spans n
+
+let pp_span ppf s =
+  if s.col_end > s.col_start + 1 then
+    Format.fprintf ppf "%d:%d-%d" s.line s.col_start (s.col_end - 1)
+  else Format.fprintf ppf "%d:%d" s.line s.col_start
+
 let fail line fmt =
-  Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+  Format.kasprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+let fail_at span fmt =
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d, col %d: %s" span.line span.col_start s)))
+    fmt
 
 (* ------------------------------------------------------------------ *)
 (* Tokens                                                              *)
@@ -45,10 +79,28 @@ let strip_comment line =
   | None -> line
   | Some i -> String.sub line 0 i
 
-let words s =
-  String.split_on_char ' ' s
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun w -> w <> "")
+(* Split on blanks, keeping the 1-based starting column of every token so
+   diagnostics can point into the source text. *)
+let words_pos lineno s =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && (s.[!i] = ' ' || s.[!i] = '\t') do
+      incr i
+    done;
+    if !i < n then begin
+      let start = !i in
+      while !i < n && s.[!i] <> ' ' && s.[!i] <> '\t' do
+        incr i
+      done;
+      let tok = String.sub s start (!i - start) in
+      out :=
+        (tok, { line = lineno; col_start = start + 1; col_end = !i + 1 })
+        :: !out
+    end
+  done;
+  List.rev !out
 
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                             *)
@@ -60,11 +112,11 @@ type raw = {
   mutable sig_outputs : string list;
   mutable sig_internal : string list;
   mutable dummies : string list;
-  mutable graph : (int * string list) list; (* line number, tokens; reversed *)
+  mutable graph : (string * span) list list; (* positioned tokens; reversed *)
   mutable marking : (int * string list) option;
 }
 
-let parse_sections src =
+let parse_sections map src =
   let raw =
     {
       model = None;
@@ -76,42 +128,52 @@ let parse_sections src =
       marking = None;
     }
   in
+  let record_signals rest =
+    List.iter
+      (fun (n, sp) ->
+        if not (Hashtbl.mem map.signal_spans n) then
+          Hashtbl.add map.signal_spans n sp)
+      rest;
+    List.map fst rest
+  in
   let in_graph = ref false in
   let lines = String.split_on_char '\n' src in
   List.iteri
     (fun i line ->
       let lineno = i + 1 in
-      let line = String.trim (strip_comment line) in
-      if line <> "" then
-        match words line with
-        | [] -> ()
-        | w :: rest when String.length w > 0 && w.[0] = '.' -> (
-          in_graph := false;
-          match w with
-          | ".model" | ".name" -> (
-            match rest with
-            | [ m ] -> raw.model <- Some m
-            | _ -> fail lineno "expected one model name")
-          | ".inputs" -> raw.sig_inputs <- raw.sig_inputs @ rest
-          | ".outputs" -> raw.sig_outputs <- raw.sig_outputs @ rest
-          | ".internal" -> raw.sig_internal <- raw.sig_internal @ rest
-          | ".dummy" -> raw.dummies <- raw.dummies @ rest
-          | ".graph" -> in_graph := true
-          | ".marking" -> raw.marking <- Some (lineno, rest)
-          | ".capacity" | ".slowenv" | ".initial" -> ()
-          | ".end" -> ()
-          | other -> fail lineno "unknown directive %s" other)
-        | tokens ->
-          if !in_graph then raw.graph <- (lineno, tokens) :: raw.graph
-          else fail lineno "unexpected text outside .graph section")
+      let line = strip_comment line in
+      match words_pos lineno line with
+      | [] -> ()
+      | (w, wsp) :: rest when String.length w > 0 && w.[0] = '.' -> (
+        in_graph := false;
+        match w with
+        | ".model" | ".name" -> (
+          match rest with
+          | [ (m, _) ] -> raw.model <- Some m
+          | _ -> fail lineno "expected one model name")
+        | ".inputs" -> raw.sig_inputs <- raw.sig_inputs @ record_signals rest
+        | ".outputs" -> raw.sig_outputs <- raw.sig_outputs @ record_signals rest
+        | ".internal" ->
+          raw.sig_internal <- raw.sig_internal @ record_signals rest
+        | ".dummy" -> raw.dummies <- raw.dummies @ List.map fst rest
+        | ".graph" -> in_graph := true
+        | ".marking" -> raw.marking <- Some (lineno, List.map fst rest)
+        | ".capacity" | ".slowenv" | ".initial" -> ()
+        | ".end" -> ()
+        | other -> fail_at wsp "unknown directive %s" other)
+      | tokens ->
+        if !in_graph then raw.graph <- tokens :: raw.graph
+        else
+          fail_at (snd (List.hd tokens)) "unexpected text outside .graph section")
     lines;
   raw.graph <- List.rev raw.graph;
   raw
 
 type noderef = T of ttoken | P of string
 
-let parse_string ?name src =
-  let raw = parse_sections src in
+let parse_string_spans ?name src =
+  let map = empty_map () in
+  let raw = parse_sections map src in
   let signal_list =
     List.map (fun n -> (n, Signal.Input)) raw.sig_inputs
     @ List.map (fun n -> (n, Signal.Output)) raw.sig_outputs
@@ -128,21 +190,25 @@ let parse_string ?name src =
     signal_names;
   let dummy_set = Hashtbl.create 8 in
   List.iter (fun d -> Hashtbl.replace dummy_set d ()) raw.dummies;
-  let classify lineno tok =
+  let classify (tok, sp) =
     let base, inst = split_instance tok in
     match event_of_base base with
     | Some (sig_name, _dir) -> (
       match Hashtbl.find_opt sig_index sig_name with
       | Some _ -> T { base; inst }
-      | None -> fail lineno "event %s names undeclared signal %s" tok sig_name)
+      | None -> fail_at sp "event %s names undeclared signal %s" tok sig_name)
     | None -> if Hashtbl.mem dummy_set base then T { base; inst } else P tok
   in
   (* First pass: intern transitions, explicit places, implicit places. *)
   let b = Petri.Builder.create () in
   let trans_ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let trans_labels = ref [] (* reversed: label per id *) in
-  let intern_trans tk =
+  let intern_trans ?span tk =
     let key = ttoken_name tk in
+    (match span with
+    | Some sp when not (Hashtbl.mem map.transition_spans key) ->
+      Hashtbl.add map.transition_spans key sp
+    | _ -> ());
     match Hashtbl.find_opt trans_ids key with
     | Some id -> id
     | None ->
@@ -202,19 +268,25 @@ let parse_string ?name src =
         end
         else Hashtbl.replace marked_explicit entry ())
       !entries);
-  let canon lineno tok =
-    match classify lineno tok with
+  let nowhere = { line = 0; col_start = 0; col_end = 0 } in
+  let canon tok =
+    match classify (tok, nowhere) with
     | T tk -> ttoken_name tk
     | P _ -> tok
+    | exception Parse_error _ -> tok
   in
   (* Normalize implicit marking keys (e.g. "a+/1" -> "a+"). *)
   let implicit_marked (s, d) =
     Hashtbl.fold
-      (fun (a, bb) () acc -> acc || (canon 0 a = s && canon 0 bb = d))
+      (fun (a, bb) () acc -> acc || (canon a = s && canon bb = d))
       marked_implicit false
   in
   let place_ids : (string, int) Hashtbl.t = Hashtbl.create 32 in
-  let intern_place name =
+  let intern_place ?span name =
+    (match span with
+    | Some sp when not (Hashtbl.mem map.place_spans name) ->
+      Hashtbl.add map.place_spans name sp
+    | _ -> ());
     match Hashtbl.find_opt place_ids name with
     | Some id -> id
     | None ->
@@ -224,45 +296,53 @@ let parse_string ?name src =
       id
   in
   let implicit_place_ids : (string * string, int) Hashtbl.t = Hashtbl.create 64 in
-  let intern_implicit src dst =
+  let intern_implicit ?span src dst =
+    let pname = Printf.sprintf "<%s,%s>" src dst in
+    (match span with
+    | Some sp when not (Hashtbl.mem map.place_spans pname) ->
+      Hashtbl.add map.place_spans pname sp
+    | _ -> ());
     match Hashtbl.find_opt implicit_place_ids (src, dst) with
     | Some id -> id
     | None ->
       let tokens = if implicit_marked (src, dst) then 1 else 0 in
-      let id =
-        Petri.Builder.add_place b ~name:(Printf.sprintf "<%s,%s>" src dst)
-          ~tokens
-      in
+      let id = Petri.Builder.add_place b ~name:pname ~tokens in
       Hashtbl.add implicit_place_ids (src, dst) id;
       id
   in
   (* Second pass: build arcs. *)
   List.iter
-    (fun (lineno, tokens) ->
+    (fun tokens ->
       match tokens with
       | [] -> ()
-      | src :: dsts ->
-        if dsts = [] then fail lineno "arc line needs at least one target";
-        let src_ref = classify lineno src in
+      | ((_src, src_sp) as src_tok) :: dsts ->
+        if dsts = [] then fail_at src_sp "arc line needs at least one target";
+        let src_ref = classify src_tok in
         (match src_ref with
-        | T tk -> ignore (intern_trans tk)
-        | P p -> ignore (intern_place p));
+        | T tk -> ignore (intern_trans ~span:src_sp tk)
+        | P p -> ignore (intern_place ~span:src_sp p));
         List.iter
-          (fun dst ->
-            let dst_ref = classify lineno dst in
+          (fun ((_, dst_sp) as dst_tok) ->
+            let dst_ref = classify dst_tok in
             match (src_ref, dst_ref) with
             | T a, T d ->
-              let ta = intern_trans a and td = intern_trans d in
-              let p = intern_implicit (ttoken_name a) (ttoken_name d) in
+              let ta = intern_trans ~span:src_sp a
+              and td = intern_trans ~span:dst_sp d in
+              let p =
+                intern_implicit ~span:dst_sp (ttoken_name a) (ttoken_name d)
+              in
               Petri.Builder.arc_tp b ta p;
               Petri.Builder.arc_pt b p td
             | T a, P p ->
-              let ta = intern_trans a and pp = intern_place p in
+              let ta = intern_trans ~span:src_sp a
+              and pp = intern_place ~span:dst_sp p in
               Petri.Builder.arc_tp b ta pp
             | P p, T d ->
-              let pp = intern_place p and td = intern_trans d in
+              let pp = intern_place ~span:src_sp p
+              and td = intern_trans ~span:dst_sp d in
               Petri.Builder.arc_pt b pp td
-            | P _, P _ -> fail lineno "arc between two places is not allowed")
+            | P _, P _ ->
+              fail_at dst_sp "arc between two places is not allowed")
           dsts)
     raw.graph;
   let net = Petri.Builder.build b in
@@ -273,15 +353,19 @@ let parse_string ?name src =
     | None, Some m -> m
     | None, None -> "stg"
   in
-  Stg.make ~net ~labels ~signal_names ~kinds ~name:model
+  (Stg.make ~net ~labels ~signal_names ~kinds ~name:model, map)
 
-let parse_file path =
+let parse_string ?name src = fst (parse_string_spans ?name src)
+
+let parse_file_spans path =
   let ic = open_in path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  try parse_string src
+  try parse_string_spans src
   with Parse_error msg -> raise (Parse_error (path ^ ": " ^ msg))
+
+let parse_file path = fst (parse_file_spans path)
 
 (* ------------------------------------------------------------------ *)
 (* Printing                                                            *)

@@ -21,15 +21,43 @@
     [<src,dst>] in markings.  [#] starts a comment. *)
 
 exception Parse_error of string
-(** Raised with a human-readable message (including a line number) on
+(** Raised with a human-readable message (including line and column) on
     malformed input. *)
+
+type span = { line : int; col_start : int; col_end : int }
+(** A source position: 1-based line, 1-based starting column, exclusive
+    end column.  [{line = 0; _}] never occurs in a parser-produced span. *)
+
+type source_map = {
+  signal_spans : (string, span) Hashtbl.t;
+      (** signal name → its declaration token *)
+  transition_spans : (string, span) Hashtbl.t;
+      (** transition name (e.g. ["a+/2"]) → first occurrence in [.graph] *)
+  place_spans : (string, span) Hashtbl.t;
+      (** place name (explicit, or implicit ["<a+,b+>"]) → first
+          occurrence; an implicit place maps to its destination token *)
+}
+(** Where each STG element came from in the [.g] source.  Lint
+    diagnostics use this to point at the offending declaration or arc. *)
+
+val signal_span : source_map -> string -> span option
+val transition_span : source_map -> string -> span option
+val place_span : source_map -> string -> span option
+
+(** [pp_span] prints ["line:col"] (or ["line:col-col"] for wide spans). *)
+val pp_span : Format.formatter -> span -> unit
 
 (** [parse_string ?name src] parses the [.g] text [src].  [name] overrides
     the [.model] name. *)
 val parse_string : ?name:string -> string -> Stg.t
 
+(** [parse_string_spans ?name src] additionally returns the source map. *)
+val parse_string_spans : ?name:string -> string -> Stg.t * source_map
+
 (** [parse_file path] reads and parses [path]. *)
 val parse_file : string -> Stg.t
+
+val parse_file_spans : string -> Stg.t * source_map
 
 (** [to_string stg] renders the STG back to [.g] syntax; the result
     re-parses to an isomorphic STG. *)

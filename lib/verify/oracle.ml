@@ -35,6 +35,7 @@ type report = {
   refinement : Conform.report;
   semi_modular : bool;
   cover_errors : int;
+  netlist_lint : Diagnostic.report;
   gates : int;
   elapsed : float;
 }
@@ -43,6 +44,7 @@ let passed r =
   Conform.conforms r.conform
   && Conform.conforms r.refinement
   && r.semi_modular && r.cover_errors = 0
+  && Diagnostic.clean r.netlist_lint
 
 (* The certificate decomposes along what the flow actually guarantees:
    the netlist must conform {e exactly} to the expanded graph (the
@@ -64,6 +66,7 @@ let certify ?max_states impl =
     refinement;
     semi_modular = Persistency.is_semi_modular impl.expanded;
     cover_errors = List.length (Derive.check impl.functions impl.expanded);
+    netlist_lint = Lint.run_netlist impl.netlist;
     gates = Netlist.n_gates impl.netlist;
     elapsed = Sys.time () -. t0;
   }
@@ -71,10 +74,12 @@ let certify ?max_states impl =
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>netlist vs expanded: %arefinement vs source: %asemi-modular: \
-     %s@,cover mismatches: %d@,gates: %d@]"
+     %s@,cover mismatches: %d@,netlist lint errors: %d@,gates: %d@]"
     Conform.pp_report r.conform Conform.pp_report r.refinement
     (if r.semi_modular then "yes" else "NO")
-    r.cover_errors r.gates
+    r.cover_errors
+    (List.length (Diagnostic.errors r.netlist_lint))
+    r.gates
 
 (* ---- differential backends ---- *)
 
@@ -88,7 +93,20 @@ let backend_name = function
 
 let all_backends = [ Walksat; Dpll; Bdd; Direct ]
 
+(* Fail fast on structurally malformed specifications: a lint error
+   (inconsistency, unsafeness, dead code…) means the state-graph layers
+   below would either reject the STG anyway or synthesize garbage, so
+   abstain before burning any solver budget. *)
+let lint_gate stg =
+  let { Lint.report; _ } = Lint.run stg in
+  match Diagnostic.errors report with
+  | [] -> None
+  | d :: _ -> Some (Printf.sprintf "lint [%s]: %s" d.Diagnostic.rule d.Diagnostic.message)
+
 let synthesize_with ?backtrack_limit ?time_limit backend stg =
+  match lint_gate stg with
+  | Some msg -> Error msg
+  | None -> (
   match backend with
   | Walksat | Dpll | Bdd -> (
     let engine =
@@ -116,7 +134,7 @@ let synthesize_with ?backtrack_limit ?time_limit backend stg =
       Error
         (match reason with
         | Dpll.Backtrack_limit -> "backtrack limit"
-        | Dpll.Time_limit -> "time limit"))
+        | Dpll.Time_limit -> "time limit")))
 
 type differential = {
   stg_name : string;

@@ -40,6 +40,9 @@ type report = {
   refinement : Conform.report;  (** expanded vs source, extras hidden *)
   semi_modular : bool;  (** {!Persistency.is_semi_modular} on [expanded] *)
   cover_errors : int;  (** {!Derive.check} mismatches on [expanded] *)
+  netlist_lint : Diagnostic.report;
+      (** structural A7 lints over the generated netlist; any error
+          fails the certificate *)
   gates : int;
   elapsed : float;
 }
@@ -69,6 +72,9 @@ val synthesize_with :
   backend ->
   Stg.t ->
   (impl, string) result
+(** Structurally malformed specifications (lint errors from rules
+    A1–A5) make every backend abstain with a ["lint [...]"] message
+    before any solver runs. *)
 
 type differential = {
   stg_name : string;

@@ -1,13 +1,16 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation section, plus Bechamel microbenchmarks of the library's
-   core operations.
+   core operations and the multicore trajectory.
 
-     dune exec bench/main.exe               -- everything
-     dune exec bench/main.exe -- table1     -- Table 1 (E1) + area summary (E4)
-     dune exec bench/main.exe -- clauses    -- mmu0-style formula sizes (E2)
-     dune exec bench/main.exe -- scaling    -- runtime scaling figure (E3)
-     dune exec bench/main.exe -- modules    -- partition statistics (E5)
-     dune exec bench/main.exe -- micro      -- Bechamel component benches
+     dune exec bench/main.exe                  -- everything
+     dune exec bench/main.exe -- table1          Table 1 (E1) + area summary (E4)
+     dune exec bench/main.exe -- clauses         mmu0-style formula sizes (E2)
+     dune exec bench/main.exe -- scaling-methods runtime scaling figure (E3)
+     dune exec bench/main.exe -- scaling         multicore scaling (E8)
+     dune exec bench/main.exe -- modules         partition statistics (E5)
+     dune exec bench/main.exe -- micro           Bechamel component benches
+     dune exec bench/main.exe -- json [NAME..]   write BENCH_results.json
+     dune exec bench/main.exe -- check F B       compare fresh F vs baseline B
 
    The direct and sequential baselines run under a bounded SAT budget,
    exactly as the paper ran Vanbekbergen's program (its Table 1 prints
@@ -16,6 +19,13 @@
 
 let direct_time_budget = 20.0
 let direct_backtrack_budget = 2_000_000
+
+(* Wall clock, not [Sys.time]: CPU time aggregates over every domain of
+   the pool, which is exactly the wrong metric for multicore speedup. *)
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Shared measurement helpers                                          *)
@@ -28,9 +38,13 @@ type method_result = {
   m_time : float;
 }
 
-let run_modular stg =
-  let t0 = Sys.time () in
-  let r = Mpart.synthesize_best stg in
+let run_modular ?jobs stg =
+  let config =
+    match jobs with
+    | None -> Mpart.default_config
+    | Some jobs -> { Mpart.default_config with jobs }
+  in
+  let r, elapsed = wall (fun () -> Mpart.synthesize_best ~config stg) in
   (match Mpart.verify r with
   | None -> ()
   | Some e -> failwith ("modular verification failed: " ^ e));
@@ -38,7 +52,7 @@ let run_modular stg =
       m_signals = Mpart.final_signals r;
       m_states = Mpart.final_states r;
       m_area = Mpart.area_literals r;
-      m_time = Sys.time () -. t0;
+      m_time = elapsed;
     },
     r )
 
@@ -152,33 +166,35 @@ let clauses () =
     "   (paper: mmu0 direct = 35,386 clauses / 1,044 vars; modular = 954+954+85 clauses)";
   Printf.printf "%-16s | %22s | %s\n" "STG" "direct formula"
     "modular formulas (one per module with conflicts)";
-  List.iter
-    (fun (e : Bench_suite.entry) ->
-      let stg = e.Bench_suite.build () in
-      let sg = Sg.of_stg stg in
-      let enc = Csc_encode.encode sg ~n_new:(max 1 (Csc.lower_bound sg)) in
-      let _, r = run_modular stg in
-      let module_sizes =
-        List.concat_map
-          (fun (m : Mpart.module_report) ->
-            List.map
-              (fun (f : Mpart.formula_size) ->
-                Printf.sprintf "%dc/%dv" f.Mpart.clauses f.Mpart.vars)
-              m.Mpart.formulas)
-          r.Mpart.modules
-      in
-      Printf.printf "%-16s | %10d cl %7d v | %s\n%!" e.Bench_suite.name
-        (Cnf.n_clauses enc.Csc_encode.cnf)
-        (Cnf.n_vars enc.Csc_encode.cnf)
-        (if module_sizes = [] then "(no conflicts)"
-         else String.concat " " module_sizes))
-    Bench_suite.all
+  (* rows are independent: fan them across the pool, print in order *)
+  List.iter print_string
+    (Pool.map_list
+       (fun (e : Bench_suite.entry) ->
+         let stg = e.Bench_suite.build () in
+         let sg = Sg.of_stg stg in
+         let enc = Csc_encode.encode sg ~n_new:(max 1 (Csc.lower_bound sg)) in
+         let _, r = run_modular stg in
+         let module_sizes =
+           List.concat_map
+             (fun (m : Mpart.module_report) ->
+               List.map
+                 (fun (f : Mpart.formula_size) ->
+                   Printf.sprintf "%dc/%dv" f.Mpart.clauses f.Mpart.vars)
+                 m.Mpart.formulas)
+             r.Mpart.modules
+         in
+         Printf.sprintf "%-16s | %10d cl %7d v | %s\n" e.Bench_suite.name
+           (Cnf.n_clauses enc.Csc_encode.cnf)
+           (Cnf.n_vars enc.Csc_encode.cnf)
+           (if module_sizes = [] then "(no conflicts)"
+            else String.concat " " module_sizes))
+       Bench_suite.all)
 
 (* ------------------------------------------------------------------ *)
-(* E3: scaling figure                                                  *)
+(* E3: scaling figure (method comparison)                              *)
 (* ------------------------------------------------------------------ *)
 
-let scaling () =
+let scaling_methods () =
   print_endline
     "== E3: runtime scaling on the mixed pipeline family (figure-style) ==";
   Printf.printf "%10s %8s %10s %12s %12s %12s\n" "instance" "states"
@@ -199,6 +215,211 @@ let scaling () =
     [ (1, 1); (2, 1); (4, 1); (1, 2); (2, 2); (4, 2); (2, 3); (3, 3) ]
 
 (* ------------------------------------------------------------------ *)
+(* E8: multicore scaling and the machine-readable bench trajectory     *)
+(* ------------------------------------------------------------------ *)
+
+let netlist_verilog stg (r : Mpart.result) =
+  let inputs = List.map (Stg.signal_name stg) (Stg.inputs stg) in
+  Netlist.to_verilog
+    (Netlist.of_functions ~name:(Stg.name stg) ~inputs r.Mpart.functions)
+
+type trajectory_row = {
+  t_name : string;
+  t_states : int;
+  t_area : int;
+  t_seq : float; (* wall seconds, --jobs 1 *)
+  t_par : float; (* wall seconds, parallel *)
+  t_identical : bool; (* parallel netlist = sequential netlist *)
+}
+
+(* One benchmark, measured at --jobs 1 and at [par] domains; the two
+   synthesized netlists must match gate for gate. *)
+let measure ~par name stg =
+  let r1, t1 =
+    wall (fun () ->
+        Mpart.synthesize_best ~config:{ Mpart.default_config with jobs = 1 } stg)
+  in
+  let rp, tp =
+    wall (fun () ->
+        Mpart.synthesize_best
+          ~config:{ Mpart.default_config with jobs = par }
+          stg)
+  in
+  {
+    t_name = name;
+    t_states = Mpart.final_states rp;
+    t_area = Mpart.area_literals rp;
+    t_seq = t1;
+    t_par = tp;
+    t_identical = netlist_verilog stg r1 = netlist_verilog stg rp;
+  }
+
+let speedup row = if row.t_par > 0.0 then row.t_seq /. row.t_par else 1.0
+
+let pp_row row =
+  Printf.printf "%-16s %8d %6d %10.3f %10.3f %9.2fx %s\n%!" row.t_name
+    row.t_states row.t_area row.t_seq row.t_par (speedup row)
+    (if row.t_identical then "identical" else "NETLISTS DIFFER")
+
+let scaling () =
+  let par = 4 in
+  Printf.printf
+    "== E8: multicore scaling — wall clock at --jobs 1 vs --jobs %d ==\n" par;
+  Printf.printf "   (%d recommended domains on this machine)\n"
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-16s %8s %6s %10s %10s %10s\n" "instance" "states" "area"
+    "jobs=1(s)" (Printf.sprintf "jobs=%d(s)" par) "speedup";
+  List.iter
+    (fun (name, stg) -> pp_row (measure ~par name stg))
+    ([
+       ("lock_ring-12", Bench_gen.lock_ring ~signals:12);
+       ("lock_ring-20", Bench_gen.lock_ring ~signals:20);
+     ]
+    @ List.map
+        (fun (stages, branches) ->
+          ( Printf.sprintf "mixed-%dx%d" stages branches,
+            Bench_gen.mixed ~stages ~branches ))
+        [ (1, 1); (2, 2); (4, 2); (2, 3); (3, 3) ])
+
+(* The trajectory file: per-benchmark states, area, wall times and
+   speedup, one benchmark per line so the [check] gate (and any
+   follow-up tooling) can parse it without a JSON library. *)
+let write_trajectory path ~par rows =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"mpsyn-bench/1\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" par;
+  Printf.fprintf oc "  \"benchmarks\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i row ->
+      Printf.fprintf oc
+        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b}%s\n"
+        row.t_name row.t_states row.t_area row.t_seq row.t_par (speedup row)
+        row.t_identical
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
+let default_json_subset = [ "mr1"; "vbe4a"; "atod"; "fifo"; "nak-pa" ]
+
+let json names =
+  let names = if names = [] then default_json_subset else names in
+  let par = max 2 (Pool.default_jobs ()) in
+  let rows =
+    List.map
+      (fun name ->
+        let stg = (Bench_suite.find name).Bench_suite.build () in
+        let row = measure ~par name stg in
+        pp_row row;
+        row)
+      names
+  in
+  write_trajectory "BENCH_results.json" ~par rows;
+  Printf.printf "wrote BENCH_results.json (%d benchmarks, jobs=%d)\n"
+    (List.length rows) par;
+  if List.for_all (fun r -> r.t_identical) rows then 0 else 1
+
+(* ------------------------------------------------------------------ *)
+(* check: regression gate over two trajectory files                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal extraction from the one-benchmark-per-line layout that
+   [write_trajectory] emits; no JSON library in the tree. *)
+let find_sub s pat =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let field_string line key =
+  Option.map
+    (fun start -> String.sub line start (String.index_from line start '"' - start))
+    (find_sub line (Printf.sprintf "\"%s\":\"" key))
+
+let field_raw line key =
+  Option.map
+    (fun start ->
+      let stop = ref start in
+      let n = String.length line in
+      while !stop < n && line.[!stop] <> ',' && line.[!stop] <> '}' do
+        incr stop
+      done;
+      String.sub line start (!stop - start))
+    (find_sub line (Printf.sprintf "\"%s\":" key))
+
+let read_trajectory path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match field_string line "name" with
+       | None -> ()
+       | Some name ->
+         let time =
+           Option.bind (field_raw line "time_parallel") float_of_string_opt
+         in
+         let identical =
+           Option.bind (field_raw line "identical") bool_of_string_opt
+         in
+         rows :=
+           ( name,
+             Option.value time ~default:nan,
+             Option.value identical ~default:false )
+           :: !rows
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+(* A benchmark regresses when its parallel wall time exceeds twice the
+   baseline's; an absolute floor keeps sub-50ms noise from tripping the
+   gate on shared CI machines. *)
+let regression_factor = 2.0
+let regression_floor = 0.05
+
+let check fresh_path base_path =
+  let fresh = read_trajectory fresh_path in
+  let base = read_trajectory base_path in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base_time, _) ->
+      match List.find_opt (fun (n, _, _) -> n = name) fresh with
+      | None ->
+        incr failures;
+        Printf.printf "%-16s FAIL: missing from %s\n" name fresh_path
+      | Some (_, fresh_time, identical) ->
+        if not identical then begin
+          incr failures;
+          Printf.printf "%-16s FAIL: parallel netlist differs\n" name
+        end;
+        if
+          fresh_time > (regression_factor *. base_time)
+          && fresh_time > regression_floor
+        then begin
+          incr failures;
+          Printf.printf "%-16s FAIL: %.3fs vs baseline %.3fs (> %.1fx)\n" name
+            fresh_time base_time regression_factor
+        end
+        else
+          Printf.printf "%-16s ok: %.3fs (baseline %.3fs)\n" name fresh_time
+            base_time)
+    base;
+  if !failures = 0 then begin
+    Printf.printf "bench check: no regression vs %s\n" base_path;
+    0
+  end
+  else begin
+    Printf.printf "bench check: %d failure(s) vs %s\n" !failures base_path;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E5: partition statistics                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -207,22 +428,24 @@ let modules () =
     "== E5: modular decomposition (Figure 1(b) topology, per benchmark) ==";
   Printf.printf "%-16s %8s %8s %10s %10s %8s\n" "STG" "states" "modules"
     "max |So|" "mean |So|" "signals+";
-  List.iter
-    (fun (e : Bench_suite.entry) ->
-      let stg = e.Bench_suite.build () in
-      let _, r = run_modular stg in
-      let sizes = List.map (fun m -> m.Mpart.module_states) r.Mpart.modules in
-      let maxs = List.fold_left max 0 sizes in
-      let mean =
-        float_of_int (List.fold_left ( + ) 0 sizes)
-        /. float_of_int (max 1 (List.length sizes))
-      in
-      Printf.printf "%-16s %8d %8d %10d %10.1f %8d\n%!" e.Bench_suite.name
-        (Mpart.initial_states r)
-        (List.length r.Mpart.modules)
-        maxs mean
-        (Mpart.n_state_signals r))
-    Bench_suite.all
+  (* rows are independent: fan them across the pool, print in order *)
+  List.iter print_string
+    (Pool.map_list
+       (fun (e : Bench_suite.entry) ->
+         let stg = e.Bench_suite.build () in
+         let _, r = run_modular stg in
+         let sizes = List.map (fun m -> m.Mpart.module_states) r.Mpart.modules in
+         let maxs = List.fold_left max 0 sizes in
+         let mean =
+           float_of_int (List.fold_left ( + ) 0 sizes)
+           /. float_of_int (max 1 (List.length sizes))
+         in
+         Printf.sprintf "%-16s %8d %8d %10d %10.1f %8d\n" e.Bench_suite.name
+           (Mpart.initial_states r)
+           (List.length r.Mpart.modules)
+           maxs mean
+           (Mpart.n_state_signals r))
+       Bench_suite.all)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
@@ -345,17 +568,32 @@ let ablation () =
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let rest =
+    if Array.length Sys.argv > 2 then
+      Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+    else []
+  in
   match which with
   | "table1" -> table1 ()
   | "clauses" -> clauses ()
   | "scaling" -> scaling ()
+  | "scaling-methods" -> scaling_methods ()
   | "modules" -> modules ()
   | "micro" -> micro ()
   | "ablation" -> ablation ()
+  | "json" -> exit (json rest)
+  | "check" -> (
+    match rest with
+    | [ fresh; base ] -> exit (check fresh base)
+    | _ ->
+      Printf.eprintf "usage: bench check FRESH.json BASELINE.json\n";
+      exit 2)
   | "all" ->
     table1 ();
     print_newline ();
     clauses ();
+    print_newline ();
+    scaling_methods ();
     print_newline ();
     scaling ();
     print_newline ();
@@ -366,6 +604,7 @@ let () =
     micro ()
   | other ->
     Printf.eprintf
-      "unknown bench %s (expected table1|clauses|scaling|modules|ablation|micro|all)\n"
+      "unknown bench %s (expected table1|clauses|scaling|scaling-methods|\
+       modules|ablation|micro|json|check|all)\n"
       other;
     exit 2

@@ -74,6 +74,38 @@ let no_lint_arg =
   let doc = "Skip the static-analysis pre-pass (rules A1-A5)." in
   Arg.(value & flag & info [ "no-lint" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Width of the domain pool for the solver-independent stages \
+     (portfolio candidates, per-output module derivation, fuzz cases).  \
+     $(b,1) forces the fully sequential path; results are bit-identical \
+     for any width.  Defaults to $(b,MPSYN_JOBS) or the machine's \
+     recommended domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+(* [--jobs 0] (or negative, or a malformed MPSYN_JOBS) is a usage
+   error: exit 2 per the documented exit-code discipline. *)
+let resolve_jobs = function
+  | Some n when n >= 1 ->
+    Pool.set_default_jobs n;
+    n
+  | Some n ->
+    Printf.eprintf "mpsyn: --jobs must be a positive integer (got %d)\n" n;
+    exit exit_usage
+  | None -> (
+    match Sys.getenv_opt "MPSYN_JOBS" with
+    | None | Some "" -> Pool.default_jobs ()
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 ->
+        Pool.set_default_jobs n;
+        n
+      | Some _ | None ->
+        Printf.eprintf
+          "mpsyn: MPSYN_JOBS must be a positive integer (got %s)\n" s;
+        exit exit_usage))
+
 let stg_arg =
   let doc = "STG file in .g format, or the name of a built-in benchmark." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"STG" ~doc)
@@ -145,7 +177,8 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "netlist" ] ~doc)
   in
-  let run names json strict netlist =
+  let run names json strict netlist jobs_opt =
+    let jobs = resolve_jobs jobs_opt in
     let rejected = ref false in
     let jsons = ref [] in
     let consume report =
@@ -156,26 +189,48 @@ let lint_cmd =
         else not (Diagnostic.clean report)
       then rejected := true
     in
+    (* Inputs load in this domain (load errors exit with the usage
+       code); the analyses — and with [--netlist] the synthesis runs —
+       fan out over the pool, and reports print in input order. *)
+    let specs = List.map (fun name -> (name, load_stg_spans name)) names in
+    let results =
+      Pool.map_list ~jobs
+        (fun (name, (stg, map)) ->
+          let { Lint.report; _ } = Lint.run ?map stg in
+          let netrep =
+            if netlist && Diagnostic.clean report then begin
+              match
+                Mpart.synthesize_best
+                  ~config:{ Mpart.default_config with jobs }
+                  stg
+              with
+              | r ->
+                let inputs =
+                  List.map (Stg.signal_name stg) (Stg.inputs stg)
+                in
+                let nl =
+                  Netlist.of_functions ~name:(Stg.name stg) ~inputs
+                    r.Mpart.functions
+                in
+                Some (Ok (Lint.run_netlist nl))
+              | exception Mpart.Synthesis_failed msg -> Some (Error msg)
+            end
+            else None
+          in
+          (name, report, netrep))
+        specs
+    in
     List.iter
-      (fun name ->
-        let stg, map = load_stg_spans name in
-        let { Lint.report; _ } = Lint.run ?map stg in
+      (fun (name, report, netrep) ->
         consume report;
-        if netlist && Diagnostic.clean report then begin
-          match Mpart.synthesize_best stg with
-          | r ->
-            let inputs = List.map (Stg.signal_name stg) (Stg.inputs stg) in
-            let nl =
-              Netlist.of_functions ~name:(Stg.name stg) ~inputs
-                r.Mpart.functions
-            in
-            consume (Lint.run_netlist nl)
-          | exception Mpart.Synthesis_failed msg ->
-            Printf.eprintf "mpsyn lint: %s: synthesis failed (%s); netlist \
-                            rules skipped\n"
-              name msg
-        end)
-      names;
+        match netrep with
+        | None -> ()
+        | Some (Ok r) -> consume r
+        | Some (Error msg) ->
+          Printf.eprintf
+            "mpsyn lint: %s: synthesis failed (%s); netlist rules skipped\n"
+            name msg)
+      results;
     if json then begin
       match List.rev !jsons with
       | [ one ] -> print_endline one
@@ -188,7 +243,8 @@ let lint_cmd =
        ~doc:
          "Statically analyze an STG (and optionally its synthesized \
           netlist) without building the state space")
-    Term.(const run $ stgs_arg $ json_arg $ strict_arg $ netlist_arg)
+    Term.(
+      const run $ stgs_arg $ json_arg $ strict_arg $ netlist_arg $ jobs_arg)
 
 let info_cmd =
   let run stg_name =
@@ -231,7 +287,8 @@ let print_functions fs =
 
 let synth_cmd =
   let run stg_name method_ backtrack_limit time_limit hazard_free backend
-      portfolio celements no_lint =
+      portfolio celements no_lint jobs_opt =
+    let jobs = resolve_jobs jobs_opt in
     lint_gate ~skip:no_lint stg_name;
     let stg = load_stg stg_name in
     match method_ with
@@ -243,6 +300,7 @@ let synth_cmd =
           time_limit;
           hazard_free;
           backend;
+          jobs;
         }
       in
       let r =
@@ -314,7 +372,7 @@ let synth_cmd =
     (Cmd.info "synth" ~exits ~doc:"Synthesize a speed-independent circuit from an STG")
     Term.(
       const run $ stg_arg $ method_arg $ backtrack_arg $ time_arg $ hazard_arg
-      $ backend_arg $ portfolio_arg $ celements_arg $ no_lint_arg)
+      $ backend_arg $ portfolio_arg $ celements_arg $ no_lint_arg $ jobs_arg)
 
 let bench_cmd =
   let run stg_name =
@@ -447,11 +505,15 @@ let verify_cmd =
     let doc = "Product-exploration state cap." in
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~docv:"N" ~doc)
   in
-  let run stg_names fuzz seed max_states backtrack_limit time_limit backend =
+  let run stg_names fuzz seed max_states backtrack_limit time_limit backend
+      jobs_opt =
+    let jobs = resolve_jobs jobs_opt in
     let failures = ref 0 in
     let verify_one name =
       let stg = load_stg name in
-      let config = { Mpart.default_config with backtrack_limit; time_limit; backend } in
+      let config =
+        { Mpart.default_config with backtrack_limit; time_limit; backend; jobs }
+      in
       match Mpart.synthesize ~config stg with
       | exception Mpart.Synthesis_failed msg ->
         incr failures;
@@ -478,26 +540,41 @@ let verify_cmd =
         exit exit_usage
       end
     | Some n ->
+      (* Cases are drawn sequentially from the seeded generator (so the
+         case list is reproducible for any --jobs), then the
+         differential runs fan out over the pool and report in order.
+         Unbounded solving would let the whole-graph direct baseline
+         run forever on the large instances fuzzing routinely
+         produces; and since solver budgets measure process CPU time,
+         which all domains share, the default budget scales with the
+         fan-out so each case keeps the same effective allowance. *)
       let rand = Random.State.make [| seed |] in
-      (* unbounded solving would let the whole-graph direct baseline run
-         forever on the large instances fuzzing routinely produces *)
-      let time_limit = Some (Option.value time_limit ~default:10.0) in
-      for i = 1 to n do
-        let stg = Bench_gen.random ~rand in
-        let d =
-          Oracle.differential_one ?backtrack_limit ?time_limit ~max_states stg
-        in
-        if d.Oracle.ok then
-          Format.printf "fuzz %3d/%d %-14s ok@." i n d.Oracle.stg_name
-        else begin
-          incr failures;
-          Format.printf "fuzz %3d/%d (seed %d) %a@." i n seed
-            Oracle.pp_differential d;
-          Format.printf "  reproduce with: mpsyn verify --fuzz %d --seed %d@." n
-            seed;
-          print_string (Gformat.to_string stg)
-        end
-      done);
+      let stgs = Array.init n (fun _ -> Bench_gen.random ~rand) in
+      let fan = max 1 (min jobs n) in
+      let time_limit =
+        Some (Option.value time_limit ~default:10.0 *. float_of_int fan)
+      in
+      let results =
+        Pool.map ~jobs
+          (fun stg ->
+            Oracle.differential_one ?backtrack_limit ?time_limit ~max_states
+              stg)
+          stgs
+      in
+      Array.iteri
+        (fun i d ->
+          let i = i + 1 in
+          if d.Oracle.ok then
+            Format.printf "fuzz %3d/%d %-14s ok@." i n d.Oracle.stg_name
+          else begin
+            incr failures;
+            Format.printf "fuzz %3d/%d (seed %d) %a@." i n seed
+              Oracle.pp_differential d;
+            Format.printf "  reproduce with: mpsyn verify --fuzz %d --seed %d@."
+              n seed;
+            print_string (Gformat.to_string stgs.(i - 1))
+          end)
+        results);
     if !failures = 0 then 0 else exit_verification
   in
   Cmd.v
@@ -507,7 +584,7 @@ let verify_cmd =
           against the source STG under adversarial delays")
     Term.(
       const run $ stgs_arg $ fuzz_arg $ seed_arg $ max_states_arg
-      $ backtrack_arg $ time_arg $ backend_arg)
+      $ backtrack_arg $ time_arg $ backend_arg $ jobs_arg)
 
 let dot_cmd =
   let run stg_name =

@@ -11,6 +11,7 @@ type config = {
   normalize_modules : bool;
   exact_covers : bool;
   prescreen : bool;
+  jobs : int;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     normalize_modules = true;
     exact_covers = false;
     prescreen = true;
+    jobs = Pool.default_jobs ();
   }
 
 type formula_size = Csc_direct.formula_size = { vars : int; clauses : int }
@@ -131,42 +133,88 @@ let synthesize_sg ?(config = default_config) ?(csc_certified = false) complete =
   (* Per-output support for logic derivation, in complete-graph signal
      names (resolved to expanded ids later). *)
   let supports : (string, string list) Hashtbl.t = Hashtbl.create 8 in
-  List.iter
-    (fun o ->
-      Log.debug (fun m ->
-          m "deriving module for output %s" (Sg.signal_name complete o));
-      let inp = Input_derivation.determine !current ~output:o in
-      Log.debug (fun m ->
-          m "module %s: %d states, solving"
-            (Sg.signal_name complete o)
-            (Sg.n_states inp.Input_derivation.module_sg));
-      (* A static CSC certificate (lock-relation prescreen, rule A6)
-         guarantees the complete graph is conflict-free, so the module
-         quotients need no state signals: skip conflict counting and the
-         SAT engine outright.  Artifact conflicts a quotient would show
-         are exactly the pairs the certificate proves spurious. *)
-      let conflicts =
-        if csc_certified then 0
-        else
-          Csc.n_output_conflicts inp.Input_derivation.module_sg
-            ~output:
-              (Sg.find_signal inp.Input_derivation.module_sg
-                 (Sg.signal_name !current o))
+  (* The derivation stage — ε-projection of the complete graph onto each
+     output's input set plus modular CSC conflict detection — only reads
+     the graph, so all pending outputs are analyzed concurrently up
+     front ({!Pool}).  The solve/propagate stage mutates the shared
+     complete graph and keeps the original sequential order; whenever it
+     lands new state signals in the graph, the precomputed analyses of
+     the outputs not yet consumed are stale (a new signal can separate
+     their conflicts or join their module) and are recomputed against
+     the updated graph in a fresh parallel batch.  Every consumed
+     analysis was therefore computed against exactly the graph the
+     sequential loop would have used, so results are bit-identical for
+     any [jobs]; with [jobs = 1] outputs are analyzed one at a time,
+     reproducing the historical work pattern as well. *)
+  let analyze g o =
+    Log.debug (fun m ->
+        m "deriving module for output %s" (Sg.signal_name complete o));
+    let inp = Input_derivation.determine g ~output:o in
+    (* A static CSC certificate (lock-relation prescreen, rule A6)
+       guarantees the complete graph is conflict-free, so the module
+       quotients need no state signals: skip conflict counting and the
+       SAT engine outright.  Artifact conflicts a quotient would show
+       are exactly the pairs the certificate proves spurious. *)
+    let conflicts =
+      if csc_certified then 0
+      else
+        Csc.n_output_conflicts inp.Input_derivation.module_sg
+          ~output:
+            (Sg.find_signal inp.Input_derivation.module_sg
+               (Sg.signal_name g o))
+    in
+    (o, inp, conflicts)
+  in
+  (* Solve one analyzed module; returns [true] when the complete graph
+     gained state signals (invalidating later analyses). *)
+  let consume (o, inp, conflicts) =
+    Log.debug (fun m ->
+        m "module %s: %d states, solving"
+          (Sg.signal_name complete o)
+          (Sg.n_states inp.Input_derivation.module_sg));
+    let updated, new_signals, sat =
+      if conflicts = 0 then (!current, [], None)
+      else begin
+        let c, names, r = solve_module ~config ~fresh_name !current inp in
+        (c, names, Some r)
+      end
+    in
+    let changed = updated != !current in
+    current := updated;
+    Hashtbl.replace supports
+      (Sg.signal_name complete o)
+      (List.map (Sg.signal_name complete) inp.Input_derivation.input_set
+      @ inp.Input_derivation.kept_extras @ new_signals);
+    reports := module_report !current inp sat ~conflicts ~new_signals :: !reports;
+    changed
+  in
+  (* Analysis batches are [jobs] wide: as wide as the pool can run
+     concurrently, so no parallelism is lost, while a graph mutation
+     wastes at most [jobs - 1] precomputed analyses instead of every
+     pending output's. *)
+  let rec split_batch k = function
+    | rest when k = 0 -> ([], rest)
+    | [] -> ([], [])
+    | o :: rest ->
+      let batch, deferred = split_batch (k - 1) rest in
+      (o :: batch, deferred)
+  in
+  let rec run_batches pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+      let batch, deferred = split_batch (max 1 config.jobs) pending in
+      let analyzed = Pool.map_list ~jobs:config.jobs (analyze !current) batch in
+      (* consume in order; on graph change the rest of the batch is stale *)
+      let rec go = function
+        | [] -> []
+        | a :: rest ->
+          if consume a then List.map (fun (o, _, _) -> o) rest else go rest
       in
-      let updated, new_signals, sat =
-        if conflicts = 0 then (!current, [], None)
-        else begin
-          let c, names, r = solve_module ~config ~fresh_name !current inp in
-          (c, names, Some r)
-        end
-      in
-      current := updated;
-      Hashtbl.replace supports
-        (Sg.signal_name complete o)
-        (List.map (Sg.signal_name complete) inp.Input_derivation.input_set
-        @ inp.Input_derivation.kept_extras @ new_signals);
-      reports := module_report !current inp sat ~conflicts ~new_signals :: !reports)
-    outputs;
+      let stale = go analyzed in
+      run_batches (stale @ deferred)
+  in
+  run_batches outputs;
   (* Fallback: conflicts invisible to every module. *)
   let fallback = ref None in
   Log.debug (fun m ->
@@ -375,8 +423,13 @@ let synthesize_best ?(config = default_config) stg =
   let csc_certified = certificate config stg in
   let complete = Sg.of_stg ~max_states:config.max_states stg in
   let area r = Derive.total_literals r.functions in
+  (* The portfolio candidates are independent full runs over the same
+     immutable complete graph, so they fan out over the pool.  Results
+     come back in candidate order and the min-area fold below keeps the
+     earlier candidate on ties, so the winner never depends on
+     scheduling. *)
   let candidates =
-    List.filter_map
+    Pool.map_filter ~jobs:config.jobs
       (fun normalize_modules ->
         match
           synthesize_sg

@@ -37,6 +37,16 @@ type config = {
       (** run the structural lock-relation CSC prescreen (lint rule A6)
           before building state graphs; a certificate lets the whole
           SAT pipeline be skipped (default true) *)
+  jobs : int;
+      (** domain-pool width for the solver-independent stages: the
+          {!synthesize_best} portfolio and the per-output
+          derivation/projection/conflict-detection batches fan out over
+          {!Pool} with this width.  [1] forces the historical fully
+          sequential path; any width produces bit-identical results
+          (the mutating solve/propagate stage stays ordered and stale
+          analyses are recomputed).  Default: {!Pool.default_jobs} at
+          module initialization ([MPSYN_JOBS] or the machine's
+          recommended domain count). *)
 }
 
 val default_config : config
@@ -89,8 +99,10 @@ val synthesize_sg : ?config:config -> ?csc_certified:bool -> Sg.t -> result
 (** [synthesize_best ?config stg] runs a small configuration portfolio
     (module normalization on and off — the greedy pipeline is chaotic
     enough that either can win) and returns the verified result with the
-    smallest two-level area.  Costs at most twice {!synthesize}, which
-    the method's speed advantage dwarfs. *)
+    smallest two-level area; ties break toward the earlier candidate, so
+    the choice is deterministic.  With [config.jobs > 1] the candidates
+    run concurrently on the domain pool, so the portfolio costs at most
+    one {!synthesize} of wall clock instead of two. *)
 val synthesize_best : ?config:config -> Stg.t -> result
 
 (** {1 Result accessors (Table 1 columns)} *)

@@ -43,7 +43,16 @@ val marked_places : t -> int list
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+(** [hash m] is an FNV-style fold over the token counts; allocation-free
+    and consistent with {!equal}. *)
 val hash : t -> int
+
+(** [pack m] is an injective string encoding of the marking —
+    [pack a = pack b] iff [equal a b].  1-safe markings pack to one bit
+    per place, which is what {!Reach.explore} interns instead of the
+    marking itself; non-safe markings use a wider fallback encoding. *)
+val pack : t -> string
 
 (** [pp] prints a marking as [{p0:1 p3:2}] using raw place ids. *)
 val pp : Format.formatter -> t -> unit

@@ -8,27 +8,49 @@ type t = {
 
 exception Too_many_states of int
 
-module Mtbl = Hashtbl.Make (struct
-  type t = Marking.t
+(* Append-only array that doubles when full.  Exploration used to
+   accumulate reversed lists and reverse at the end, costing three
+   words per element plus the final walk; this keeps the elements flat
+   and in order. *)
+module Grow = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
 
-  let equal = Marking.equal
-  let hash = Marking.hash
-end)
+  let create ~capacity dummy = { data = Array.make capacity dummy; len = 0 }
+
+  let push g x =
+    if g.len = Array.length g.data then begin
+      let d = Array.make (2 * g.len) x in
+      Array.blit g.data 0 d 0 g.len;
+      g.data <- d
+    end;
+    g.data.(g.len) <- x;
+    g.len <- g.len + 1
+
+  let to_array g = Array.sub g.data 0 g.len
+end
 
 let explore ?(max_states = 100_000) net =
-  let index = Mtbl.create 1024 in
-  let markings = ref [] (* reversed *) and n = ref 0 in
-  let edges = ref [] in
+  (* Interning hashes the packed bitvector form of each marking — a
+     short flat string — rather than the int-array marking itself, and
+     the table is preallocated from the exploration cap so the hot
+     phase never rehashes. *)
+  let index : (string, int) Hashtbl.t =
+    Hashtbl.create (max 1024 (min max_states 65_536))
+  in
+  let cap = max 64 (min max_states 4_096) in
+  let markings = Grow.create ~capacity:cap (Petri.initial_marking net) in
+  let edges = Grow.create ~capacity:cap (-1, -1, -1) in
   let queue = Queue.create () in
   let intern m =
-    match Mtbl.find_opt index m with
+    let key = Marking.pack m in
+    match Hashtbl.find_opt index key with
     | Some id -> id
     | None ->
-      if !n >= max_states then raise (Too_many_states max_states);
-      let id = !n in
-      Mtbl.add index m id;
-      markings := m :: !markings;
-      incr n;
+      if markings.Grow.len >= max_states then
+        raise (Too_many_states max_states);
+      let id = markings.Grow.len in
+      Hashtbl.add index key id;
+      Grow.push markings m;
       Queue.add (id, m) queue;
       id
   in
@@ -40,11 +62,11 @@ let explore ?(max_states = 100_000) net =
       (fun t ->
         let m' = Petri.fire net m t in
         let dst = intern m' in
-        edges := (src, t, dst) :: !edges)
+        Grow.push edges (src, t, dst))
       ts
   done;
-  let markings = Array.of_list (List.rev !markings) in
-  let edges = Array.of_list (List.rev !edges) in
+  let markings = Grow.to_array markings in
+  let edges = Grow.to_array edges in
   let succ = Array.make (Array.length markings) [] in
   let pred = Array.make (Array.length markings) [] in
   Array.iter

@@ -1,4 +1,4 @@
-let calls = ref 0
-let bump () = incr calls
-let total () = !calls
-let reset () = calls := 0
+let calls = Atomic.make 0
+let bump () = Atomic.incr calls
+let total () = Atomic.get calls
+let reset () = Atomic.set calls 0

@@ -4,7 +4,11 @@
     and the BDD backend) bumps this counter once per call.  Tests use the
     delta around a synthesis run to {e prove} that a static certificate
     (the lock-relation CSC prescreen) made the flow skip constraint
-    solving entirely, rather than merely believing it did. *)
+    solving entirely, rather than merely believing it did.
+
+    The counter is atomic: solver calls issued from pool domains
+    ({!Pool}) are counted exactly, so certificate proofs remain valid
+    under [--jobs N]. *)
 
 (** [bump ()] records one solver invocation. *)
 val bump : unit -> unit

@@ -319,6 +319,31 @@ let prop_reach_explores_ring =
       let g = Reach.explore net in
       Reach.n_states g = n && Reach.strongly_connected g && Reach.quasi_live g)
 
+(* hash and pack must agree with equal: equal markings share hash and
+   pack; pack is injective (pack a = pack b iff equal a b).  The
+   generator mixes safe markings (bit-packed encoding) and unsafe ones
+   (wide fallback), and rebuilds [a] a second time so the "equal implies
+   same pack/hash" direction is always exercised. *)
+let prop_marking_hash_pack =
+  let gen_counts =
+    QCheck.Gen.(list_size (int_range 0 40) (int_range 0 3))
+  in
+  QCheck.Test.make ~name:"marking hash/pack agree with equal" ~count:300
+    (QCheck.make
+       ~print:
+         QCheck.Print.(pair (list int) (list int))
+       QCheck.Gen.(pair gen_counts gen_counts))
+    (fun (a, b) ->
+      let ma = Marking.of_array (Array.of_list a) in
+      let ma' = Marking.of_array (Array.of_list a) in
+      let mb = Marking.of_array (Array.of_list b) in
+      let eq = Marking.equal ma mb in
+      Marking.equal ma ma'
+      && Marking.hash ma = Marking.hash ma'
+      && Marking.pack ma = Marking.pack ma'
+      && (Marking.pack ma = Marking.pack mb) = eq
+      && ((not eq) || Marking.hash ma = Marking.hash mb))
+
 let () =
   Alcotest.run "petri"
     [
@@ -362,5 +387,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_fire_conserves_ring;
           QCheck_alcotest.to_alcotest prop_reach_explores_ring;
           QCheck_alcotest.to_alcotest prop_invariants_hold_on_benchmarks;
+          Qseed.to_alcotest prop_marking_hash_pack;
         ] );
     ]

@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- scaling-methods runtime scaling figure (E3)
      dune exec bench/main.exe -- scaling         multicore scaling (E8)
      dune exec bench/main.exe -- modules         partition statistics (E5)
+     dune exec bench/main.exe -- hazard          static H1-H5 vs dynamic (E9)
      dune exec bench/main.exe -- micro           Bechamel component benches
      dune exec bench/main.exe -- json [NAME..]   write BENCH_results.json
      dune exec bench/main.exe -- check F B       compare fresh F vs baseline B
@@ -230,7 +231,29 @@ type trajectory_row = {
   t_seq : float; (* wall seconds, --jobs 1 *)
   t_par : float; (* wall seconds, parallel *)
   t_identical : bool; (* parallel netlist = sequential netlist *)
+  t_hazard : float; (* wall seconds, static H1-H5 analysis *)
+  t_hazard_verdict : string; (* certified | refuted | abstained *)
+  t_dynamic : float; (* wall seconds, Conform.check product exploration *)
+  t_bdd_nodes : int; (* total nodes across the per-signal managers *)
 }
+
+(* The static H1-H5 pass and the dynamic product exploration it can
+   replace, each wall-clocked on the synthesized netlist — the
+   per-benchmark evidence for E9 and the regression columns the check
+   gate watches. *)
+let measure_hazard (r : Mpart.result) =
+  let impl = Oracle.impl_of_result r in
+  let hz, t_hazard =
+    wall (fun () ->
+        Hazard_check.analyze ~expanded:impl.Oracle.expanded
+          ~functions:impl.Oracle.functions impl.Oracle.netlist)
+  in
+  let _, t_dynamic =
+    wall (fun () ->
+        Conform.check ~spec:impl.Oracle.expanded ~initial:impl.Oracle.initial
+          impl.Oracle.netlist)
+  in
+  (hz, t_hazard, t_dynamic)
 
 (* One benchmark, measured at --jobs 1 and at [par] domains; the two
    synthesized netlists must match gate for gate. *)
@@ -245,6 +268,7 @@ let measure ~par name stg =
           ~config:{ Mpart.default_config with jobs = par }
           stg)
   in
+  let hz, t_hazard, t_dynamic = measure_hazard rp in
   {
     t_name = name;
     t_states = Mpart.final_states rp;
@@ -252,14 +276,19 @@ let measure ~par name stg =
     t_seq = t1;
     t_par = tp;
     t_identical = netlist_verilog stg r1 = netlist_verilog stg rp;
+    t_hazard;
+    t_hazard_verdict = Hazard_check.verdict_name hz;
+    t_dynamic;
+    t_bdd_nodes = hz.Hazard_check.bdd_nodes;
   }
 
 let speedup row = if row.t_par > 0.0 then row.t_seq /. row.t_par else 1.0
 
 let pp_row row =
-  Printf.printf "%-16s %8d %6d %10.3f %10.3f %9.2fx %s\n%!" row.t_name
+  Printf.printf "%-16s %8d %6d %10.3f %10.3f %9.2fx %s %s %.3fs\n%!" row.t_name
     row.t_states row.t_area row.t_seq row.t_par (speedup row)
     (if row.t_identical then "identical" else "NETLISTS DIFFER")
+    row.t_hazard_verdict row.t_hazard
 
 let scaling () =
   let par = 4 in
@@ -294,9 +323,10 @@ let write_trajectory path ~par rows =
   List.iteri
     (fun i row ->
       Printf.fprintf oc
-        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b}%s\n"
+        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d}%s\n"
         row.t_name row.t_states row.t_area row.t_seq row.t_par (speedup row)
-        row.t_identical
+        row.t_identical row.t_hazard_verdict row.t_hazard row.t_dynamic
+        row.t_bdd_nodes
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -352,6 +382,14 @@ let field_raw line key =
       String.sub line start (!stop - start))
     (find_sub line (Printf.sprintf "\"%s\":" key))
 
+type traj_row = {
+  j_name : string;
+  j_time : float;
+  j_identical : bool;
+  j_hazard : string option; (* absent in pre-hazard baselines *)
+  j_hazard_time : float option;
+}
+
 let read_trajectory path =
   let ic = open_in path in
   let rows = ref [] in
@@ -368,9 +406,14 @@ let read_trajectory path =
            Option.bind (field_raw line "identical") bool_of_string_opt
          in
          rows :=
-           ( name,
-             Option.value time ~default:nan,
-             Option.value identical ~default:false )
+           {
+             j_name = name;
+             j_time = Option.value time ~default:nan;
+             j_identical = Option.value identical ~default:false;
+             j_hazard = field_string line "hazard";
+             j_hazard_time =
+               Option.bind (field_raw line "hazard_time") float_of_string_opt;
+           }
            :: !rows
      done
    with End_of_file -> ());
@@ -388,27 +431,47 @@ let check fresh_path base_path =
   let base = read_trajectory base_path in
   let failures = ref 0 in
   List.iter
-    (fun (name, base_time, _) ->
-      match List.find_opt (fun (n, _, _) -> n = name) fresh with
+    (fun b ->
+      match List.find_opt (fun f -> f.j_name = b.j_name) fresh with
       | None ->
         incr failures;
-        Printf.printf "%-16s FAIL: missing from %s\n" name fresh_path
-      | Some (_, fresh_time, identical) ->
-        if not identical then begin
+        Printf.printf "%-16s FAIL: missing from %s\n" b.j_name fresh_path
+      | Some f ->
+        if not f.j_identical then begin
           incr failures;
-          Printf.printf "%-16s FAIL: parallel netlist differs\n" name
+          Printf.printf "%-16s FAIL: parallel netlist differs\n" b.j_name
         end;
+        (* a benchmark the baseline certified statically must stay
+           certified — losing a certificate silently re-enables the
+           dynamic exploration and is a correctness smell, not noise *)
+        (match (b.j_hazard, f.j_hazard) with
+        | Some "certified", Some v when v <> "certified" ->
+          incr failures;
+          Printf.printf "%-16s FAIL: hazard verdict %s, baseline certified\n"
+            b.j_name v
+        | _ -> ());
+        (* hazard-analysis wall time gates like synthesis wall time,
+           with the same factor and noise floor; pre-hazard baselines
+           simply have no column to compare *)
+        (match (b.j_hazard_time, f.j_hazard_time) with
+        | Some bt, Some ft
+          when ft > (regression_factor *. bt) && ft > regression_floor ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: hazard check %.3fs vs baseline %.3fs (> %.1fx)\n"
+            b.j_name ft bt regression_factor
+        | _ -> ());
         if
-          fresh_time > (regression_factor *. base_time)
-          && fresh_time > regression_floor
+          f.j_time > (regression_factor *. b.j_time)
+          && f.j_time > regression_floor
         then begin
           incr failures;
-          Printf.printf "%-16s FAIL: %.3fs vs baseline %.3fs (> %.1fx)\n" name
-            fresh_time base_time regression_factor
+          Printf.printf "%-16s FAIL: %.3fs vs baseline %.3fs (> %.1fx)\n"
+            b.j_name f.j_time b.j_time regression_factor
         end
         else
-          Printf.printf "%-16s ok: %.3fs (baseline %.3fs)\n" name fresh_time
-            base_time)
+          Printf.printf "%-16s ok: %.3fs (baseline %.3fs)\n" b.j_name f.j_time
+            b.j_time)
     base;
   if !failures = 0 then begin
     Printf.printf "bench check: no regression vs %s\n" base_path;
@@ -418,6 +481,40 @@ let check fresh_path base_path =
     Printf.printf "bench check: %d failure(s) vs %s\n" !failures base_path;
     1
   end
+
+(* ------------------------------------------------------------------ *)
+(* E9: static hazard certification vs dynamic conformance              *)
+(* ------------------------------------------------------------------ *)
+
+let hazard_table () =
+  print_endline
+    "== E9: static H1-H5 certification vs the dynamic product exploration ==";
+  Printf.printf "%-16s %9s %8s %10s %10s %8s %9s %9s\n" "STG" "verdict"
+    "regions" "static(s)" "dynamic(s)" "ratio" "bdd" "max/sig";
+  (* rows are independent: fan them across the pool, print in order *)
+  List.iter print_string
+    (Pool.map_list
+       (fun (e : Bench_suite.entry) ->
+         let stg = e.Bench_suite.build () in
+         let _, r = run_modular stg in
+         let hz, t_static, t_dynamic = measure_hazard r in
+         let regions, max_nodes =
+           match hz.Hazard_check.verdict with
+           | Hazard_check.Certified c ->
+             ( List.length c.Hazard_check.c_regions,
+               List.fold_left
+                 (fun a (rs : Hazard_check.region_stat) ->
+                   max a rs.Hazard_check.rs_bdd_nodes)
+                 0 c.Hazard_check.c_regions )
+           | _ -> (0, 0)
+         in
+         Printf.sprintf "%-16s %9s %8d %10.4f %10.4f %7.1fx %9d %9d\n"
+           e.Bench_suite.name
+           (Hazard_check.verdict_name hz)
+           regions t_static t_dynamic
+           (if t_static > 0.0 then t_dynamic /. t_static else nan)
+           hz.Hazard_check.bdd_nodes max_nodes)
+       Bench_suite.all)
 
 (* ------------------------------------------------------------------ *)
 (* E5: partition statistics                                            *)
@@ -579,6 +676,7 @@ let () =
   | "scaling" -> scaling ()
   | "scaling-methods" -> scaling_methods ()
   | "modules" -> modules ()
+  | "hazard" -> hazard_table ()
   | "micro" -> micro ()
   | "ablation" -> ablation ()
   | "json" -> exit (json rest)
@@ -599,12 +697,14 @@ let () =
     print_newline ();
     modules ();
     print_newline ();
+    hazard_table ();
+    print_newline ();
     ablation ();
     print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown bench %s (expected table1|clauses|scaling|scaling-methods|\
-       modules|ablation|micro|json|check|all)\n"
+       modules|hazard|ablation|micro|json|check|all)\n"
       other;
     exit 2

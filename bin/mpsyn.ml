@@ -16,10 +16,13 @@ open Cmdliner
 
 (* Exit-code discipline (documented in every subcommand's man page):
    0 success; 1 synthesis failure or abort; 2 usage / input errors;
-   3 lint rejected the specification; 4 verification failure. *)
+   3 lint rejected the specification; 4 verification failure;
+   5 static hazard analysis refuted speed independence (with a
+   replayable counterexample — stronger than a mere lint rejection). *)
 let exit_usage = 2
 let exit_lint = 3
 let exit_verification = 4
+let exit_refuted = 5
 
 let exits =
   [
@@ -33,6 +36,10 @@ let exits =
          $(b,--strict), warnings too).";
     Cmd.Exit.info exit_verification
       ~doc:"when verification of a synthesized circuit fails.";
+    Cmd.Exit.info exit_refuted
+      ~doc:
+        "when the static hazard rules (H1-H5) refute speed independence \
+         with a replayable gate-level counterexample.";
   ]
 
 (* [load_stg_spans] keeps the source map when the STG comes from a .g
@@ -177,9 +184,21 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "netlist" ] ~doc)
   in
-  let run names json strict netlist jobs_opt =
+  let hazard_arg =
+    let doc =
+      "Run the symbolic speed-independence rules (H1-H5) over each \
+       synthesized netlist; requires $(b,--netlist).  A replayable \
+       refutation exits $(b,5)."
+    in
+    Arg.(value & flag & info [ "hazard" ] ~doc)
+  in
+  let run names json strict netlist hazard jobs_opt =
     let jobs = resolve_jobs jobs_opt in
-    let rejected = ref false in
+    if hazard && not netlist then begin
+      Printf.eprintf "mpsyn lint: --hazard requires --netlist\n";
+      exit exit_usage
+    end;
+    let rejected = ref false and refuted = ref false in
     let jsons = ref [] in
     let consume report =
       if json then jsons := Diagnostic.to_json report :: !jsons
@@ -191,7 +210,10 @@ let lint_cmd =
     in
     (* Inputs load in this domain (load errors exit with the usage
        code); the analyses — and with [--netlist] the synthesis runs —
-       fan out over the pool, and reports print in input order. *)
+       fan out over the pool, and reports print in input order.  The
+       netlist (A7) and hazard (H1-H5) findings for a circuit are merged
+       into one canonically ordered report, so the rendering is
+       bit-identical for any --jobs width. *)
     let specs = List.map (fun name -> (name, load_stg_spans name)) names in
     let results =
       Pool.map_list ~jobs
@@ -212,7 +234,23 @@ let lint_cmd =
                   Netlist.of_functions ~name:(Stg.name stg) ~inputs
                     r.Mpart.functions
                 in
-                Some (Ok (Lint.run_netlist nl))
+                let a7 = Lint.run_netlist nl in
+                if hazard then begin
+                  let hz =
+                    Hazard_check.analyze ~expanded:r.Mpart.expanded
+                      ~functions:r.Mpart.functions nl
+                  in
+                  let merged =
+                    Diagnostic.merge ~target:a7.Diagnostic.target
+                      [
+                        a7;
+                        Diagnostic.report ~target:a7.Diagnostic.target
+                          hz.Hazard_check.diags;
+                      ]
+                  in
+                  Some (Ok (merged, Some hz))
+                end
+                else Some (Ok (a7, None))
               | exception Mpart.Synthesis_failed msg -> Some (Error msg)
             end
             else None
@@ -225,7 +263,11 @@ let lint_cmd =
         consume report;
         match netrep with
         | None -> ()
-        | Some (Ok r) -> consume r
+        | Some (Ok (r, hz)) ->
+          consume r;
+          (match hz with
+          | Some hz when Hazard_check.refuted hz -> refuted := true
+          | _ -> ())
         | Some (Error msg) ->
           Printf.eprintf
             "mpsyn lint: %s: synthesis failed (%s); netlist rules skipped\n"
@@ -236,7 +278,7 @@ let lint_cmd =
       | [ one ] -> print_endline one
       | many -> Printf.printf "[%s]\n" (String.concat "," many)
     end;
-    if !rejected then exit_lint else 0
+    if !refuted then exit_refuted else if !rejected then exit_lint else 0
   in
   Cmd.v
     (Cmd.info "lint" ~exits
@@ -244,7 +286,8 @@ let lint_cmd =
          "Statically analyze an STG (and optionally its synthesized \
           netlist) without building the state space")
     Term.(
-      const run $ stgs_arg $ json_arg $ strict_arg $ netlist_arg $ jobs_arg)
+      const run $ stgs_arg $ json_arg $ strict_arg $ netlist_arg $ hazard_arg
+      $ jobs_arg)
 
 let info_cmd =
   let run stg_name =
@@ -505,8 +548,16 @@ let verify_cmd =
     let doc = "Product-exploration state cap." in
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~docv:"N" ~doc)
   in
-  let run stg_names fuzz seed max_states backtrack_limit time_limit backend
-      jobs_opt =
+  let force_dynamic_arg =
+    let doc =
+      "Run the dynamic product exploration even when the static H1-H5 \
+       rules certify the netlist (the default elides it on a \
+       certificate, which $(b,Sim_calls) counters prove)."
+    in
+    Arg.(value & flag & info [ "force-dynamic" ] ~doc)
+  in
+  let run stg_names fuzz seed max_states force_dynamic backtrack_limit
+      time_limit backend jobs_opt =
     let jobs = resolve_jobs jobs_opt in
     let failures = ref 0 in
     let verify_one name =
@@ -519,13 +570,21 @@ let verify_cmd =
         incr failures;
         Format.printf "%-16s FAIL (synthesis: %s)@." (Stg.name stg) msg
       | r ->
-        let report = Oracle.certify ~max_states (Oracle.impl_of_result r) in
+        let report =
+          Oracle.certify ~max_states
+            ~skip_when_certified:(not force_dynamic)
+            (Oracle.impl_of_result r)
+        in
         if Oracle.passed report then
-          Format.printf "%-16s PASS (%d product states, %d/%d spec edges, %d gates)@."
+          Format.printf "%-16s PASS (%s, %d/%d spec edges, %d gates)@."
             (Stg.name stg)
-            report.Oracle.conform.Conform.stats.Conform.product_states
-            report.Oracle.conform.Conform.stats.Conform.spec_edges_covered
-            report.Oracle.conform.Conform.stats.Conform.spec_edges_total
+            (match report.Oracle.conform with
+            | Some c ->
+              Printf.sprintf "%d product states"
+                c.Conform.stats.Conform.product_states
+            | None -> "static H1-H5 certificate, dynamic skipped")
+            report.Oracle.refinement.Conform.stats.Conform.spec_edges_covered
+            report.Oracle.refinement.Conform.stats.Conform.spec_edges_total
             report.Oracle.gates
         else begin
           incr failures;
@@ -584,7 +643,7 @@ let verify_cmd =
           against the source STG under adversarial delays")
     Term.(
       const run $ stgs_arg $ fuzz_arg $ seed_arg $ max_states_arg
-      $ backtrack_arg $ time_arg $ backend_arg $ jobs_arg)
+      $ force_dynamic_arg $ backtrack_arg $ time_arg $ backend_arg $ jobs_arg)
 
 let dot_cmd =
   let run stg_name =

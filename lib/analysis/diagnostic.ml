@@ -61,6 +61,14 @@ let compare_diag a b =
 let report ~target diagnostics =
   { target; diagnostics = List.stable_sort compare_diag diagnostics }
 
+(* Reports assembled from several analyses (STG rules, netlist rules,
+   hazard rules) — possibly computed on different pool domains — must
+   render identically for any [--jobs N]: re-sorting the concatenation
+   through [report] restores the canonical (severity, rule, span,
+   subject) order whatever order the parts arrived in. *)
+let merge ~target reports =
+  report ~target (List.concat_map (fun r -> r.diagnostics) reports)
+
 let errors r = List.filter (fun d -> d.severity = Error) r.diagnostics
 let warnings r = List.filter (fun d -> d.severity = Warning) r.diagnostics
 let clean r = errors r = []
@@ -136,8 +144,11 @@ let diag_to_json d =
   Buffer.add_char b '}';
   Buffer.contents b
 
+let schema = "mpsyn-lint/1"
+
 let to_json r =
   Printf.sprintf
-    "{\"target\":\"%s\",\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d},\"diagnostics\":[%s]}"
-    (json_escape r.target) (count Error r) (count Warning r) (count Info r)
+    "{\"schema\":\"%s\",\"target\":\"%s\",\"summary\":{\"errors\":%d,\"warnings\":%d,\"infos\":%d},\"diagnostics\":[%s]}"
+    schema (json_escape r.target) (count Error r) (count Warning r)
+    (count Info r)
     (String.concat "," (List.map diag_to_json r.diagnostics))

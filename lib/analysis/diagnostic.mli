@@ -54,6 +54,12 @@ type report = { target : string; diagnostics : t list }
     and source position) and wraps them. *)
 val report : target:string -> t list -> report
 
+(** [merge ~target reports] combines several reports into one,
+    re-sorting the union into the canonical (severity, rule, span,
+    subject) order — the rendered output is therefore identical for any
+    [--jobs N], however the parts were scheduled. *)
+val merge : target:string -> report list -> report
+
 val errors : report -> t list
 val warnings : report -> t list
 
@@ -71,7 +77,10 @@ val pp_diag : Format.formatter -> t -> unit
 (** [pp] prints the whole report with a one-line summary header. *)
 val pp : Format.formatter -> report -> unit
 
-(** [to_json r] renders the report as a JSON object with a [summary]
-    and a [diagnostics] array — the machine-readable interface promised
-    by [mpsyn lint --json]. *)
+(** The version tag stamped on every JSON report, ["mpsyn-lint/1"]. *)
+val schema : string
+
+(** [to_json r] renders the report as a JSON object with a [schema]
+    version, a [summary] and a [diagnostics] array — the
+    machine-readable interface promised by [mpsyn lint --json]. *)
 val to_json : report -> string

@@ -168,3 +168,10 @@ let rec eval n assignment =
   | N { var; lo; hi; _ } ->
     let v = var < Array.length assignment && assignment.(var) in
     eval (if v then hi else lo) assignment
+
+let rec eval_bits n code =
+  match n with
+  | False -> false
+  | True -> true
+  | N { var; lo; hi; _ } ->
+    eval_bits (if var < Sys.int_size - 1 && code land (1 lsl var) <> 0 then hi else lo) code

@@ -76,3 +76,8 @@ val sat_count : n_vars:int -> node -> float
 (** [eval n assignment] evaluates [n] ([assignment.(v)] = value of [v];
     indices past the array are [false]). *)
 val eval : node -> bool array -> bool
+
+(** [eval_bits n code] evaluates [n] over a bit-packed assignment (bit
+    [v] of [code] = value of variable [v]), matching the state codes of
+    the state-graph layer. *)
+val eval_bits : node -> int -> bool

@@ -135,6 +135,18 @@ let excited_events sg m =
   in
   List.sort_uniq compare evs
 
+let excited sg m ~signal ~dir =
+  List.exists
+    (fun e -> match e.label with Ev (s, d) -> s = signal && d = dir | Eps -> false)
+    (succ sg m)
+
+let states_excited sg ~signal ~dir =
+  let acc = ref [] in
+  for m = n_states sg - 1 downto 0 do
+    if excited sg m ~signal ~dir then acc := m :: !acc
+  done;
+  !acc
+
 let excitation_signature sg m =
   let buf = Buffer.create 32 in
   List.iter

@@ -112,6 +112,15 @@ val full_width : t -> int
     outgoing transition at [m], sorted, deduplicated. *)
 val excited_events : t -> int -> (int * edge_dir) list
 
+(** [excited sg m ~signal ~dir] holds when the event [(signal, dir)] has
+    an outgoing edge at [m]. *)
+val excited : t -> int -> signal:int -> dir:edge_dir -> bool
+
+(** [states_excited sg ~signal ~dir] lists the states where the event is
+    excited, in increasing state order — the explicit excitation region
+    the symbolic hazard rules re-encode as BDDs. *)
+val states_excited : t -> signal:int -> dir:edge_dir -> int list
+
 (** [excitation_signature sg m] is a canonical key combining the excited
     non-input visible events and the excited extras of [m]; equal-code
     states with different signatures are CSC conflicts. *)

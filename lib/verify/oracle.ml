@@ -31,7 +31,8 @@ let impl_of_expanded ?minimizer ~spec expanded =
   make_impl ~spec ~expanded (Derive.synthesize ?minimizer expanded)
 
 type report = {
-  conform : Conform.report;
+  hazard : Hazard_check.result;
+  conform : Conform.report option;
   refinement : Conform.report;
   semi_modular : bool;
   cover_errors : int;
@@ -40,11 +41,32 @@ type report = {
   elapsed : float;
 }
 
-let passed r =
-  Conform.conforms r.conform
+let skipped_dynamic r = r.conform = None
+
+(* The parts of the dynamic certificate that actually ran. *)
+let dynamic_passed r =
+  (match r.conform with Some c -> Conform.conforms c | None -> true)
   && Conform.conforms r.refinement
   && r.semi_modular && r.cover_errors = 0
   && Diagnostic.clean r.netlist_lint
+
+(* Abstention-aware agreement between the static H1-H5 verdict and the
+   dynamic checks: a certificate must be matched by a dynamic pass, a
+   refutation by a dynamic failure; an abstention claims nothing.  When
+   the dynamic exploration was skipped, it was skipped *because* the
+   static pass certified, and the cheap dynamic components still ran. *)
+let static_agrees r =
+  match r.hazard.Hazard_check.verdict with
+  | Hazard_check.Certified _ -> dynamic_passed r
+  | Hazard_check.Refuted _ -> not (dynamic_passed r)
+  | Hazard_check.Abstained _ -> true
+
+let passed r =
+  static_agrees r
+  && dynamic_passed r
+  && (match r.conform with
+     | Some _ -> true
+     | None -> Hazard_check.certified r.hazard)
 
 (* The certificate decomposes along what the flow actually guarantees:
    the netlist must conform {e exactly} to the expanded graph (the
@@ -53,15 +75,30 @@ let passed r =
    signals are hidden again.  Together with semi-modularity of the
    expanded graph this is the paper's correctness statement; demanding
    netlist-vs-source conformance directly would additionally require
-   input-proper insertion, which graph labeling cannot always provide. *)
-let certify ?max_states impl =
+   input-proper insertion, which graph labeling cannot always provide.
+
+   The static H1-H5 pass runs first; with [~skip_when_certified:true] a
+   static certificate elides the exponential product exploration
+   ({!Conform.check}) — the cheap graph-level checks (refinement,
+   semi-modularity, covers, structural lint) always run, so a skipping
+   certificate is still cross-checked on every component that does not
+   require simulation. *)
+let certify ?max_states ?(skip_when_certified = false) impl =
   let t0 = Sys.time () in
-  let conform =
-    Conform.check ?max_states ~spec:impl.expanded ~initial:impl.initial
+  let hazard =
+    Hazard_check.analyze ~expanded:impl.expanded ~functions:impl.functions
       impl.netlist
+  in
+  let conform =
+    if skip_when_certified && Hazard_check.certified hazard then None
+    else
+      Some
+        (Conform.check ?max_states ~spec:impl.expanded ~initial:impl.initial
+           impl.netlist)
   in
   let refinement = Conform.refines ?max_states ~spec:impl.spec impl.expanded in
   {
+    hazard;
     conform;
     refinement;
     semi_modular = Persistency.is_semi_modular impl.expanded;
@@ -72,13 +109,22 @@ let certify ?max_states impl =
   }
 
 let pp_report ppf r =
+  Format.fprintf ppf "@[<v>static hazard check: %a@,"
+    Hazard_check.pp_result r.hazard;
+  (match r.conform with
+  | Some c -> Format.fprintf ppf "netlist vs expanded: %a" Conform.pp_report c
+  | None ->
+    Format.fprintf ppf
+      "netlist vs expanded: dynamic exploration skipped (statically \
+       certified)@,");
   Format.fprintf ppf
-    "@[<v>netlist vs expanded: %arefinement vs source: %asemi-modular: \
-     %s@,cover mismatches: %d@,netlist lint errors: %d@,gates: %d@]"
-    Conform.pp_report r.conform Conform.pp_report r.refinement
+    "refinement vs source: %asemi-modular: %s@,cover mismatches: \
+     %d@,netlist lint errors: %d@,static/dynamic agreement: %s@,gates: %d@]"
+    Conform.pp_report r.refinement
     (if r.semi_modular then "yes" else "NO")
     r.cover_errors
     (List.length (Diagnostic.errors r.netlist_lint))
+    (if static_agrees r then "yes" else "NO")
     r.gates
 
 (* ---- differential backends ---- *)
@@ -186,10 +232,16 @@ let pp_differential ppf d =
     (fun (b, v) ->
       match v with
       | Ok r ->
-        Format.fprintf ppf "  %-8s %s (%d product states, %d gates)@,"
+        Format.fprintf ppf "  %-8s %s (%s, static %s, %d gates)@,"
           (backend_name b)
           (if passed r then "pass" else "FAIL")
-          r.conform.Conform.stats.Conform.product_states r.gates
+          (match r.conform with
+          | Some c ->
+            Printf.sprintf "%d product states"
+              c.Conform.stats.Conform.product_states
+          | None -> "dynamic skipped")
+          (Hazard_check.verdict_name r.hazard)
+          r.gates
       | Error msg -> Format.fprintf ppf "  %-8s gave up: %s@," (backend_name b) msg)
     d.verdicts;
   Format.fprintf ppf "@]"

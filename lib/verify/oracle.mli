@@ -36,7 +36,12 @@ val impl_of_result : Mpart.result -> impl
 val impl_of_expanded : ?minimizer:[ `Heuristic | `Exact ] -> spec:Sg.t -> Sg.t -> impl
 
 type report = {
-  conform : Conform.report;  (** netlist vs expanded, exact *)
+  hazard : Hazard_check.result;
+      (** static H1–H5 verdict over the same netlist/expanded pair — the
+          third differential voice next to simulation and refinement *)
+  conform : Conform.report option;
+      (** netlist vs expanded, exact; [None] when the dynamic product
+          exploration was skipped because H1–H5 certified *)
   refinement : Conform.report;  (** expanded vs source, extras hidden *)
   semi_modular : bool;  (** {!Persistency.is_semi_modular} on [expanded] *)
   cover_errors : int;  (** {!Derive.check} mismatches on [expanded] *)
@@ -47,10 +52,24 @@ type report = {
   elapsed : float;
 }
 
+(** [skipped_dynamic r] holds when the product exploration was elided on
+    the strength of a static certificate. *)
+val skipped_dynamic : report -> bool
+
+(** [static_agrees r] is the abstention-aware cross-check between the
+    static H1–H5 verdict and the dynamic results: a certificate must be
+    matched by a dynamic pass, a refutation by a dynamic failure, and an
+    abstention agrees with anything.  Part of {!passed}. *)
+val static_agrees : report -> bool
+
 val passed : report -> bool
 
-(** [certify ?max_states impl] runs all four checks. *)
-val certify : ?max_states:int -> impl -> report
+(** [certify ?max_states ?skip_when_certified impl] runs the static
+    H1–H5 pass and the dynamic checks.  With [skip_when_certified]
+    (default [false]) a static certificate elides the exponential
+    {!Conform.check} product exploration — {!Sim_calls} proves the skip
+    — while the cheap graph-level checks still run. *)
+val certify : ?max_states:int -> ?skip_when_certified:bool -> impl -> report
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -1,0 +1,22 @@
+(** Process-wide dynamic-simulation invocation counter.
+
+    {!Conform.check} — the adversarial-delay product exploration that
+    simulates the gate netlist against its specification — bumps this
+    counter once per call.  Tests use the delta around a verification
+    run to {e prove} that a static H1–H5 certificate
+    ({!Hazard_check.analyze}) made the oracle skip dynamic conformance
+    entirely, rather than merely believing it did — the simulation twin
+    of {!Solver_calls}.
+
+    The counter is atomic: checks issued from pool domains ({!Pool})
+    are counted exactly, so certificate proofs remain valid under
+    [--jobs N]. *)
+
+(** [bump ()] records one dynamic conformance exploration. *)
+val bump : unit -> unit
+
+(** [total ()] is the number of invocations since start (or last reset). *)
+val total : unit -> int
+
+(** [reset ()] zeroes the counter (single-threaded test use only). *)
+val reset : unit -> unit

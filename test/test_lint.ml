@@ -326,6 +326,7 @@ let test_json () =
     go 0
   in
   check (String.length s > 0 && s.[0] = '{') "object";
+  check (mem "\"schema\":\"mpsyn-lint/1\"") "has schema version";
   check (mem "\"summary\"") "has summary";
   check (mem "\"diagnostics\"") "has diagnostics";
   check (mem "\"rule\":\"A3-netclass\"") "rules serialized"

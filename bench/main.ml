@@ -9,6 +9,7 @@
      dune exec bench/main.exe -- scaling         multicore scaling (E8)
      dune exec bench/main.exe -- modules         partition statistics (E5)
      dune exec bench/main.exe -- hazard          static H1-H5 vs dynamic (E9)
+     dune exec bench/main.exe -- cache           cold vs warm cache (E10)
      dune exec bench/main.exe -- micro           Bechamel component benches
      dune exec bench/main.exe -- json [NAME..]   write BENCH_results.json
      dune exec bench/main.exe -- check F B       compare fresh F vs baseline B
@@ -224,6 +225,25 @@ let netlist_verilog stg (r : Mpart.result) =
   Netlist.to_verilog
     (Netlist.of_functions ~name:(Stg.name stg) ~inputs r.Mpart.functions)
 
+(* Throwaway cache directories for the cold/warm measurements; unique
+   per measurement so rows never warm each other by accident. *)
+let cache_dir_counter = ref 0
+
+let fresh_cache_dir () =
+  incr cache_dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mpsyn-bench-cache.%d.%d" (Unix.getpid ())
+       !cache_dir_counter)
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun n -> remove_tree (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | false -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
 type trajectory_row = {
   t_name : string;
   t_states : int;
@@ -235,6 +255,10 @@ type trajectory_row = {
   t_hazard_verdict : string; (* certified | refuted | abstained *)
   t_dynamic : float; (* wall seconds, Conform.check product exploration *)
   t_bdd_nodes : int; (* total nodes across the per-signal managers *)
+  t_cache_cold : float; (* wall seconds, empty cache (populating) *)
+  t_cache_warm : float; (* wall seconds, same cache, second run *)
+  t_cache_hits : int; (* cache hits during the warm run *)
+  t_cache_identical : bool; (* cold = warm = uncached netlist bytes *)
 }
 
 (* The static H1-H5 pass and the dynamic product exploration it can
@@ -256,7 +280,10 @@ let measure_hazard (r : Mpart.result) =
   (hz, t_hazard, t_dynamic)
 
 (* One benchmark, measured at --jobs 1 and at [par] domains; the two
-   synthesized netlists must match gate for gate. *)
+   synthesized netlists must match gate for gate.  A third and fourth
+   run measure the cache: cold (populating a fresh store) then warm,
+   both at [par] domains, and both netlists must again match the
+   uncached sequential bytes. *)
 let measure ~par name stg =
   let r1, t1 =
     wall (fun () ->
@@ -269,26 +296,49 @@ let measure ~par name stg =
           stg)
   in
   let hz, t_hazard, t_dynamic = measure_hazard rp in
+  let dir = fresh_cache_dir () in
+  let cached_config =
+    { Mpart.default_config with jobs = par; cache = Some (Cache_store.open_dir dir) }
+  in
+  let rc, t_cache_cold =
+    wall (fun () -> Mpart.synthesize_best ~config:cached_config stg)
+  in
+  Cache_calls.reset ();
+  let rw, t_cache_warm =
+    wall (fun () -> Mpart.synthesize_best ~config:cached_config stg)
+  in
+  let t_cache_hits = Cache_calls.hits () in
+  remove_tree dir;
+  let reference = netlist_verilog stg r1 in
   {
     t_name = name;
     t_states = Mpart.final_states rp;
     t_area = Mpart.area_literals rp;
     t_seq = t1;
     t_par = tp;
-    t_identical = netlist_verilog stg r1 = netlist_verilog stg rp;
+    t_identical = netlist_verilog stg rp = reference;
     t_hazard;
     t_hazard_verdict = Hazard_check.verdict_name hz;
     t_dynamic;
     t_bdd_nodes = hz.Hazard_check.bdd_nodes;
+    t_cache_cold;
+    t_cache_warm;
+    t_cache_hits;
+    t_cache_identical =
+      netlist_verilog stg rc = reference && netlist_verilog stg rw = reference;
   }
 
 let speedup row = if row.t_par > 0.0 then row.t_seq /. row.t_par else 1.0
 
+let cache_speedup row =
+  if row.t_cache_warm > 0.0 then row.t_cache_cold /. row.t_cache_warm else 1.0
+
 let pp_row row =
-  Printf.printf "%-16s %8d %6d %10.3f %10.3f %9.2fx %s %s %.3fs\n%!" row.t_name
-    row.t_states row.t_area row.t_seq row.t_par (speedup row)
+  Printf.printf "%-16s %8d %6d %10.3f %10.3f %9.2fx %s %s %.3fs cache %.2fx %s\n%!"
+    row.t_name row.t_states row.t_area row.t_seq row.t_par (speedup row)
     (if row.t_identical then "identical" else "NETLISTS DIFFER")
-    row.t_hazard_verdict row.t_hazard
+    row.t_hazard_verdict row.t_hazard (cache_speedup row)
+    (if row.t_cache_identical then "identical" else "CACHE DIVERGES")
 
 let scaling () =
   let par = 4 in
@@ -323,10 +373,11 @@ let write_trajectory path ~par rows =
   List.iteri
     (fun i row ->
       Printf.fprintf oc
-        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d}%s\n"
+        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b}%s\n"
         row.t_name row.t_states row.t_area row.t_seq row.t_par (speedup row)
         row.t_identical row.t_hazard_verdict row.t_hazard row.t_dynamic
-        row.t_bdd_nodes
+        row.t_bdd_nodes row.t_cache_cold row.t_cache_warm (cache_speedup row)
+        row.t_cache_hits row.t_cache_identical
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -388,6 +439,8 @@ type traj_row = {
   j_identical : bool;
   j_hazard : string option; (* absent in pre-hazard baselines *)
   j_hazard_time : float option;
+  j_cache_identical : bool option; (* absent in pre-cache baselines *)
+  j_cache_warm : float option;
 }
 
 let read_trajectory path =
@@ -413,6 +466,10 @@ let read_trajectory path =
              j_hazard = field_string line "hazard";
              j_hazard_time =
                Option.bind (field_raw line "hazard_time") float_of_string_opt;
+             j_cache_identical =
+               Option.bind (field_raw line "cache_identical") bool_of_string_opt;
+             j_cache_warm =
+               Option.bind (field_raw line "cache_warm") float_of_string_opt;
            }
            :: !rows
      done
@@ -449,6 +506,24 @@ let check fresh_path base_path =
           incr failures;
           Printf.printf "%-16s FAIL: hazard verdict %s, baseline certified\n"
             b.j_name v
+        | _ -> ());
+        (* cache divergence is a correctness failure regardless of the
+           baseline: a warm run must replay the cold netlist byte for
+           byte, so any [false] in the fresh trajectory gates *)
+        (match f.j_cache_identical with
+        | Some false ->
+          incr failures;
+          Printf.printf "%-16s FAIL: warm-cache netlist diverges\n" b.j_name
+        | _ -> ());
+        (* warm-cache wall time gates with the same factor and noise
+           floor; pre-cache baselines have no column to compare *)
+        (match (b.j_cache_warm, f.j_cache_warm) with
+        | Some bt, Some ft
+          when ft > (regression_factor *. bt) && ft > regression_floor ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: warm cache %.3fs vs baseline %.3fs (> %.1fx)\n"
+            b.j_name ft bt regression_factor
         | _ -> ());
         (* hazard-analysis wall time gates like synthesis wall time,
            with the same factor and noise floor; pre-hazard baselines
@@ -515,6 +590,88 @@ let hazard_table () =
            (if t_static > 0.0 then t_dynamic /. t_static else nan)
            hz.Hazard_check.bdd_nodes max_nodes)
        Bench_suite.all)
+
+(* ------------------------------------------------------------------ *)
+(* E10: content-addressed synthesis cache, cold vs warm                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One store shared by the whole suite (the deployment shape: a single
+   MPSYN_CACHE directory accumulating entries across runs).  Every
+   benchmark runs cold at --jobs 1, warm at --jobs 1, and warm again at
+   --jobs 4 — the last leg exercises jobs-invariant keys: a sequential
+   cold run must warm a parallel one.  All three netlists must match
+   byte for byte, every warm run must actually hit, and the aggregate
+   warm/cold speedup must clear 2x (the acceptance bar; in practice it
+   is one or two orders of magnitude). *)
+let cache_table () =
+  print_endline
+    "== E10: content-addressed synthesis cache — cold vs warm over the suite ==";
+  let dir = fresh_cache_dir () in
+  let store = Cache_store.open_dir dir in
+  let config jobs =
+    { Mpart.default_config with jobs; cache = Some store }
+  in
+  Printf.printf "%-16s %10s %10s %10s %9s %6s %s\n" "STG" "cold(s)" "warm(s)"
+    "warm -j4" "speedup" "hits" "netlists";
+  let total_cold = ref 0.0 and total_warm = ref 0.0 in
+  let divergent = ref 0 and missed_warm = ref 0 in
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let stg = e.Bench_suite.build () in
+      let rc, cold =
+        wall (fun () -> Mpart.synthesize_best ~config:(config 1) stg)
+      in
+      Cache_calls.reset ();
+      let rw, warm =
+        wall (fun () -> Mpart.synthesize_best ~config:(config 1) stg)
+      in
+      let hits = Cache_calls.hits () in
+      let rwp, warm_par =
+        wall (fun () -> Mpart.synthesize_best ~config:(config 4) stg)
+      in
+      let reference = netlist_verilog stg rc in
+      let identical =
+        netlist_verilog stg rw = reference
+        && netlist_verilog stg rwp = reference
+      in
+      if not identical then incr divergent;
+      if hits = 0 then incr missed_warm;
+      total_cold := !total_cold +. cold;
+      total_warm := !total_warm +. warm;
+      Printf.printf "%-16s %10.4f %10.4f %10.4f %8.1fx %6d %s\n%!"
+        e.Bench_suite.name cold warm warm_par
+        (if warm > 0.0 then cold /. warm else 1.0)
+        hits
+        (if identical then "identical" else "DIVERGE"))
+    Bench_suite.all;
+  let aggregate =
+    if !total_warm > 0.0 then !total_cold /. !total_warm else 1.0
+  in
+  Printf.printf
+    "\ntotal: cold %.3fs, warm %.3fs — aggregate speedup %.1fx (%d entries, %d KiB)\n"
+    !total_cold !total_warm aggregate
+    (Cache_store.entries store)
+    (Cache_store.total_bytes store / 1024);
+  remove_tree dir;
+  if !divergent > 0 then begin
+    Printf.printf "E10 FAIL: %d benchmark(s) diverged under the cache\n"
+      !divergent;
+    1
+  end
+  else if !missed_warm > 0 then begin
+    Printf.printf "E10 FAIL: %d warm run(s) recorded no cache hit\n"
+      !missed_warm;
+    1
+  end
+  else if aggregate < 2.0 then begin
+    Printf.printf "E10 FAIL: aggregate warm speedup %.1fx below the 2x bar\n"
+      aggregate;
+    1
+  end
+  else begin
+    print_endline "E10 ok: byte-identical, every warm run hit, speedup >= 2x";
+    0
+  end
 
 (* ------------------------------------------------------------------ *)
 (* E5: partition statistics                                            *)
@@ -677,6 +834,7 @@ let () =
   | "scaling-methods" -> scaling_methods ()
   | "modules" -> modules ()
   | "hazard" -> hazard_table ()
+  | "cache" -> exit (cache_table ())
   | "micro" -> micro ()
   | "ablation" -> ablation ()
   | "json" -> exit (json rest)
@@ -699,12 +857,14 @@ let () =
     print_newline ();
     hazard_table ();
     print_newline ();
+    ignore (cache_table () : int);
+    print_newline ();
     ablation ();
     print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown bench %s (expected table1|clauses|scaling|scaling-methods|\
-       modules|hazard|ablation|micro|json|check|all)\n"
+       modules|hazard|cache|ablation|micro|json|check|all)\n"
       other;
     exit 2

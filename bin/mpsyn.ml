@@ -113,6 +113,35 @@ let resolve_jobs = function
           "mpsyn: MPSYN_JOBS must be a positive integer (got %s)\n" s;
         exit exit_usage))
 
+let cache_arg =
+  let doc =
+    "Content-addressed synthesis cache directory (created if missing).  \
+     Solver-independent stages — reachability, modular CSC solutions, \
+     minimized covers, conformance explorations — are memoized on disk \
+     under keys derived from the canonical .g text and the \
+     jobs-invariant options, so a warm re-run replays the cold results \
+     bit for bit.  Defaults to $(b,MPSYN_CACHE) when set; hit/miss \
+     counts are reported on stderr."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+
+(* [--cache DIR] wins over the environment; either way the store is
+   opened eagerly so a hopeless directory fails fast with exit 2. *)
+let resolve_cache = function
+  | Some dir -> (
+    match Cache_store.open_dir dir with
+    | store -> Some store
+    | exception Sys_error msg ->
+      Printf.eprintf "mpsyn: --cache %s: %s\n" dir msg;
+      exit exit_usage)
+  | None -> Cache_store.of_env ()
+
+let report_cache = function
+  | None -> ()
+  | Some store ->
+    Printf.eprintf "mpsyn: cache %d hits, %d misses (%s)\n" (Cache_calls.hits ())
+      (Cache_calls.misses ()) (Cache_store.dir store)
+
 let stg_arg =
   let doc = "STG file in .g format, or the name of a built-in benchmark." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"STG" ~doc)
@@ -192,8 +221,9 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "hazard" ] ~doc)
   in
-  let run names json strict netlist hazard jobs_opt =
+  let run names json strict netlist hazard jobs_opt cache_opt =
     let jobs = resolve_jobs jobs_opt in
+    let cache = resolve_cache cache_opt in
     if hazard && not netlist then begin
       Printf.eprintf "mpsyn lint: --hazard requires --netlist\n";
       exit exit_usage
@@ -223,7 +253,7 @@ let lint_cmd =
             if netlist && Diagnostic.clean report then begin
               match
                 Mpart.synthesize_best
-                  ~config:{ Mpart.default_config with jobs }
+                  ~config:{ Mpart.default_config with jobs; cache }
                   stg
               with
               | r ->
@@ -278,6 +308,7 @@ let lint_cmd =
       | [ one ] -> print_endline one
       | many -> Printf.printf "[%s]\n" (String.concat "," many)
     end;
+    report_cache cache;
     if !refuted then exit_refuted else if !rejected then exit_lint else 0
   in
   Cmd.v
@@ -287,7 +318,7 @@ let lint_cmd =
           netlist) without building the state space")
     Term.(
       const run $ stgs_arg $ json_arg $ strict_arg $ netlist_arg $ hazard_arg
-      $ jobs_arg)
+      $ jobs_arg $ cache_arg)
 
 let info_cmd =
   let run stg_name =
@@ -330,8 +361,9 @@ let print_functions fs =
 
 let synth_cmd =
   let run stg_name method_ backtrack_limit time_limit hazard_free backend
-      portfolio celements no_lint jobs_opt =
+      portfolio celements no_lint jobs_opt cache_opt =
     let jobs = resolve_jobs jobs_opt in
+    let cache = resolve_cache cache_opt in
     lint_gate ~skip:no_lint stg_name;
     let stg = load_stg stg_name in
     match method_ with
@@ -344,6 +376,7 @@ let synth_cmd =
           hazard_free;
           backend;
           jobs;
+          cache;
         }
       in
       let r =
@@ -364,6 +397,7 @@ let synth_cmd =
         | [] -> ()
         | errs -> List.iter (Format.printf "  !! %s@.") errs
       end;
+      report_cache cache;
       (match Mpart.verify r with
       | None -> Format.printf "verification: ok@."; 0
       | Some e -> Format.printf "verification: %s@." e; exit_verification)
@@ -415,7 +449,8 @@ let synth_cmd =
     (Cmd.info "synth" ~exits ~doc:"Synthesize a speed-independent circuit from an STG")
     Term.(
       const run $ stg_arg $ method_arg $ backtrack_arg $ time_arg $ hazard_arg
-      $ backend_arg $ portfolio_arg $ celements_arg $ no_lint_arg $ jobs_arg)
+      $ backend_arg $ portfolio_arg $ celements_arg $ no_lint_arg $ jobs_arg
+      $ cache_arg)
 
 let bench_cmd =
   let run stg_name =
@@ -501,9 +536,12 @@ let gen_cmd =
     Term.(const run $ family $ n_arg $ k_arg)
 
 let verilog_cmd =
-  let run stg_name =
+  let run stg_name cache_opt =
+    let cache = resolve_cache cache_opt in
     let stg = load_stg stg_name in
-    let r = Mpart.synthesize_best stg in
+    let r =
+      Mpart.synthesize_best ~config:{ Mpart.default_config with cache } stg
+    in
     (match Mpart.verify r with
     | None -> ()
     | Some e ->
@@ -518,12 +556,13 @@ let verilog_cmd =
     print_string (Netlist.to_verilog nl);
     Printf.eprintf "// %d gates, ~%d transistors, max fanin %d\n"
       (Netlist.n_gates nl) (Netlist.n_transistors nl) (Netlist.max_fanin nl);
+    report_cache cache;
     0
   in
   Cmd.v
     (Cmd.info "verilog" ~exits
        ~doc:"Synthesize and emit a structural Verilog netlist")
-    Term.(const run $ stg_arg)
+    Term.(const run $ stg_arg $ cache_arg)
 
 let verify_cmd =
   let stgs_arg =
@@ -557,13 +596,21 @@ let verify_cmd =
     Arg.(value & flag & info [ "force-dynamic" ] ~doc)
   in
   let run stg_names fuzz seed max_states force_dynamic backtrack_limit
-      time_limit backend jobs_opt =
+      time_limit backend jobs_opt cache_opt =
     let jobs = resolve_jobs jobs_opt in
+    let cache = resolve_cache cache_opt in
     let failures = ref 0 in
     let verify_one name =
       let stg = load_stg name in
       let config =
-        { Mpart.default_config with backtrack_limit; time_limit; backend; jobs }
+        {
+          Mpart.default_config with
+          backtrack_limit;
+          time_limit;
+          backend;
+          jobs;
+          cache;
+        }
       in
       match Mpart.synthesize ~config stg with
       | exception Mpart.Synthesis_failed msg ->
@@ -573,6 +620,7 @@ let verify_cmd =
         let report =
           Oracle.certify ~max_states
             ~skip_when_certified:(not force_dynamic)
+            ?cache
             (Oracle.impl_of_result r)
         in
         if Oracle.passed report then
@@ -617,7 +665,7 @@ let verify_cmd =
         Pool.map ~jobs
           (fun stg ->
             Oracle.differential_one ?backtrack_limit ?time_limit ~max_states
-              stg)
+              ?cache stg)
           stgs
       in
       Array.iteri
@@ -634,6 +682,7 @@ let verify_cmd =
             print_string (Gformat.to_string stgs.(i - 1))
           end)
         results);
+    report_cache cache;
     if !failures = 0 then 0 else exit_verification
   in
   Cmd.v
@@ -643,7 +692,8 @@ let verify_cmd =
           against the source STG under adversarial delays")
     Term.(
       const run $ stgs_arg $ fuzz_arg $ seed_arg $ max_states_arg
-      $ force_dynamic_arg $ backtrack_arg $ time_arg $ backend_arg $ jobs_arg)
+      $ force_dynamic_arg $ backtrack_arg $ time_arg $ backend_arg $ jobs_arg
+      $ cache_arg)
 
 let dot_cmd =
   let run stg_name =

@@ -1,0 +1,10 @@
+let hit_count = Atomic.make 0
+let miss_count = Atomic.make 0
+let record_hit () = Atomic.incr hit_count
+let record_miss () = Atomic.incr miss_count
+let hits () = Atomic.get hit_count
+let misses () = Atomic.get miss_count
+
+let reset () =
+  Atomic.set hit_count 0;
+  Atomic.set miss_count 0

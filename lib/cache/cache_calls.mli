@@ -1,0 +1,27 @@
+(** Process-wide cache hit/miss counters.
+
+    Every {!Cache_store.get} records exactly one hit or one miss (a
+    corrupt or truncated entry counts as a miss: it is deleted and
+    recomputed, never trusted).  Tests and the CI smoke job use the
+    deltas around a warm run to {e prove} that the content-addressed
+    cache actually served results, rather than merely believing it did
+    — the memoization twin of {!Solver_calls} and {!Sim_calls}.
+
+    The counters are atomic: cache lookups issued from pool domains
+    ({!Pool}) are counted exactly, so cache proofs remain valid under
+    [--jobs N]. *)
+
+(** [record_hit ()] counts one served lookup. *)
+val record_hit : unit -> unit
+
+(** [record_miss ()] counts one failed lookup (absent, corrupt, or
+    truncated entry). *)
+val record_miss : unit -> unit
+
+(** [hits ()] / [misses ()] since start (or last reset). *)
+val hits : unit -> int
+
+val misses : unit -> int
+
+(** [reset ()] zeroes both counters (single-threaded test use only). *)
+val reset : unit -> unit

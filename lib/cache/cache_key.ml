@@ -1,0 +1,21 @@
+(* The canonical form is Gformat's printer: PR 1 made it sorted and
+   idempotent precisely so that two structurally equal nets print
+   identically — arc lines and marking entries are sorted, implicit
+   places are named by their endpoints, transition instances keep their
+   explicit /k suffixes.  Signal declarations stay in id (declaration)
+   order: signal ids index the state codes, so declaration order is
+   semantically significant and must stay part of the key. *)
+let canonical_g stg = Gformat.to_string stg
+
+let string_digest s = Digest.to_hex (Digest.string s)
+let stg_digest stg = string_digest (canonical_g stg)
+
+let entry ~stage ~params content_digest =
+  let fingerprint =
+    String.concat ";"
+      (List.map
+         (fun (k, v) -> k ^ "=" ^ v)
+         (List.sort compare params))
+  in
+  Printf.sprintf "%s-%s" stage
+    (string_digest (stage ^ "\n" ^ fingerprint ^ "\n" ^ content_digest))

@@ -1,0 +1,39 @@
+(** Content-addressed cache keys.
+
+    The cache is keyed by {e what is being synthesized}, never by file
+    paths or timestamps: the key of an STG is the digest of its
+    canonical [.g] form — sorted arc lines, sorted marking, signals in
+    declaration order — so the same specification hits the same entry
+    no matter how its places, transitions, or arcs were ordered on
+    disk, and a single-arc edit moves to a fresh entry.
+
+    A per-stage {e fingerprint} folds in everything else a cached
+    result depends on: the stage name, the solver backend, and the
+    jobs-invariant options (the [--jobs] width is deliberately
+    excluded — results are bit-identical for any width, so cache
+    entries are shared across widths).  The schema version
+    ({!Cache_store.schema_version}) is mixed in by the store, so a
+    format bump invalidates every old entry wholesale. *)
+
+(** [canonical_g stg] is the canonical [.g] rendering of [stg]: the
+    normalized form {!Gformat.to_string} emits (sorted arc lines and
+    marking entries, idempotent under round-trip).  Two STGs that
+    differ only in the order their places, transitions, or arcs were
+    listed render identically. *)
+val canonical_g : Stg.t -> string
+
+(** [stg_digest stg] is the hex digest of {!canonical_g}.  Invariant
+    under place/transition/arc reordering and [.g] round-trip; distinct
+    for any structural mutation that survives canonicalization. *)
+val stg_digest : Stg.t -> string
+
+(** [string_digest s] is the hex digest of an arbitrary payload — used
+    to key derived artifacts (state-graph dumps, on/off sets) that are
+    already in canonical form. *)
+val string_digest : string -> string
+
+(** [entry ~stage ~params content_digest] is the on-disk entry name:
+    [stage] prefixed (human-readable when listing a cache directory)
+    and suffixed with the digest of the sorted [params] fingerprint and
+    the content digest.  [stage] must be filename-safe. *)
+val entry : stage:string -> params:(string * string) list -> string -> string

@@ -12,6 +12,7 @@ type config = {
   exact_covers : bool;
   prescreen : bool;
   jobs : int;
+  cache : Cache_store.t option;
 }
 
 let default_config =
@@ -25,7 +26,71 @@ let default_config =
     exact_covers = false;
     prescreen = true;
     jobs = Pool.default_jobs ();
+    cache = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed memoization of the solver-independent stages      *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything a cached result depends on besides the content digest.
+   [jobs] is deliberately absent: results are bit-identical for any
+   pool width, so entries are shared across --jobs settings. *)
+let fingerprint config =
+  [
+    ( "backend",
+      match config.backend with `Sat -> "sat" | `Dpll -> "dpll" | `Bdd -> "bdd"
+    );
+    ("normalize", string_of_bool config.normalize_modules);
+    ("exact_covers", string_of_bool config.exact_covers);
+    ("hazard_free", string_of_bool config.hazard_free);
+    ("prescreen", string_of_bool config.prescreen);
+    ("max_states", string_of_int config.max_states);
+    ( "backtrack_limit",
+      match config.backtrack_limit with
+      | None -> "none"
+      | Some n -> string_of_int n );
+    ( "time_limit",
+      match config.time_limit with
+      | None -> "none"
+      | Some t -> Printf.sprintf "%.6f" t );
+  ]
+
+(* [memoize config ~stage ~params digest compute]: look the stage result
+   up in the configured store (if any); on a miss compute and publish.
+   Only successful computations are cached — a raise (SAT budget
+   exhausted, inconsistent graph) propagates without leaving an entry. *)
+let memoize config ~stage ~params digest compute =
+  match config.cache with
+  | None -> compute ()
+  | Some store -> (
+    let key = Cache_key.entry ~stage ~params digest in
+    match Cache_store.get store key with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      Cache_store.put store key v;
+      v)
+
+(* Cover minimization memo ({!Derive.cover_memo}): the minimized cover
+   depends on exactly (minimizer, width, onset, offset). *)
+let memo_cover_of config : Derive.cover_memo =
+ fun ~minimizer ~width ~onset ~offset compute ->
+  match config.cache with
+  | None -> compute ()
+  | Some _ ->
+    let buf = Buffer.create 256 in
+    List.iter (fun m -> Buffer.add_string buf (string_of_int m ^ ",")) onset;
+    Buffer.add_char buf '/';
+    List.iter (fun m -> Buffer.add_string buf (string_of_int m ^ ",")) offset;
+    memoize config ~stage:"cover"
+      ~params:
+        [
+          ("minimizer", match minimizer with `Heuristic -> "h" | `Exact -> "e");
+          ("width", string_of_int width);
+        ]
+      (Cache_key.string_digest (Buffer.contents buf))
+      compute
 
 type formula_size = Csc_direct.formula_size = { vars : int; clauses : int }
 
@@ -63,32 +128,73 @@ exception Synthesis_failed of string
 let sm_violations sg0 =
   List.length (Persistency.violations (Sg_expand.expand sg0))
 
+(* What a per-module CSC solution costs to recompute and what it is
+   safe to replay: the accepted state-signal labelings plus the SAT
+   metrics.  The cache key is the module graph's content digest — the
+   partitioned representation is exactly what keeps this key local:
+   editing one output's cone leaves every other module's digest (and
+   cached solution) intact, which is the incremental-re-synthesis
+   story. *)
+type module_solution = {
+  sol_extras : Sg.extra array;
+  sol_formulas : formula_size list;
+  sol_elapsed : float;
+}
+
 (* Solve one modular graph and propagate the new signals back.  Returns
    the updated complete graph, the new signal names, and SAT metrics. *)
 let solve_module ~config ~fresh_name complete (inp : Input_derivation.t) =
   let module_sg = inp.Input_derivation.module_sg in
-  let module_output =
-    Sg.find_signal module_sg
-      (Sg.signal_name complete inp.Input_derivation.output)
-  in
+  let output_name = Sg.signal_name complete inp.Input_derivation.output in
+  let module_output = Sg.find_signal module_sg output_name in
   let baseline = sm_violations module_sg in
-  let report =
-    Modular_sat.solve ?backtrack_limit:config.backtrack_limit
-      ?time_limit:config.time_limit ~backend:config.backend
-      ~normalize:config.normalize_modules
-      ~accept:(fun solved -> sm_violations solved <= baseline)
-      ~output:module_output module_sg
+  let compute () =
+    let report =
+      Modular_sat.solve ?backtrack_limit:config.backtrack_limit
+        ?time_limit:config.time_limit ~backend:config.backend
+        ~normalize:config.normalize_modules
+        ~accept:(fun solved -> sm_violations solved <= baseline)
+        ~output:module_output module_sg
+    in
+    match report.Modular_sat.outcome with
+    | Modular_sat.Gave_up reason -> Error reason
+    | Modular_sat.Solved { new_extras; _ } ->
+      Ok
+        {
+          sol_extras = new_extras;
+          sol_formulas = report.Modular_sat.formulas;
+          sol_elapsed = report.Modular_sat.elapsed;
+        }
   in
-  match report.Modular_sat.outcome with
-  | Modular_sat.Gave_up reason ->
+  (* Only solved modules are cached; a gave-up verdict depends on the
+     budget and must be retried, never replayed. *)
+  let solved =
+    match config.cache with
+    | None -> compute ()
+    | Some store -> (
+      let key =
+        Cache_key.entry ~stage:"module-csc"
+          ~params:(("output", output_name) :: fingerprint config)
+          (Sg.digest module_sg)
+      in
+      match Cache_store.get store key with
+      | Some sol -> Ok sol
+      | None -> (
+        match compute () with
+        | Ok sol ->
+          Cache_store.put store key sol;
+          Ok sol
+        | Error _ as e -> e))
+  in
+  match solved with
+  | Error reason ->
     raise
       (Synthesis_failed
-         (Printf.sprintf "module %s: SAT %s"
-            (Sg.signal_name complete inp.Input_derivation.output)
+         (Printf.sprintf "module %s: SAT %s" output_name
             (match reason with
             | Dpll.Backtrack_limit -> "backtrack limit exceeded"
             | Dpll.Time_limit -> "time limit exceeded")))
-  | Modular_sat.Solved { new_extras; _ } ->
+  | Ok sol ->
     let complete = ref complete in
     let names = ref [] in
     Array.iter
@@ -98,11 +204,11 @@ let solve_module ~config ~fresh_name complete (inp : Input_derivation.t) =
         complete :=
           Propagation.propagate !complete ~cover:inp.Input_derivation.cover
             ~name ~values:x.Sg.values)
-      new_extras;
-    (!complete, List.rev !names, report)
+      sol.sol_extras;
+    (!complete, List.rev !names, sol)
 
 let module_report complete (inp : Input_derivation.t)
-    (sat : Modular_sat.report option) ~conflicts ~new_signals =
+    (sat : module_solution option) ~conflicts ~new_signals =
   {
     output_name = Sg.signal_name complete inp.Input_derivation.output;
     input_set = List.map (Sg.signal_name complete) inp.Input_derivation.input_set;
@@ -112,12 +218,11 @@ let module_report complete (inp : Input_derivation.t)
     module_edges = Sg.n_edges inp.Input_derivation.module_sg;
     module_conflicts = conflicts;
     new_signals;
-    formulas = (match sat with None -> [] | Some r -> r.Modular_sat.formulas);
-    sat_elapsed =
-      (match sat with None -> 0.0 | Some r -> r.Modular_sat.elapsed);
+    formulas = (match sat with None -> [] | Some s -> s.sol_formulas);
+    sat_elapsed = (match sat with None -> 0.0 | Some s -> s.sol_elapsed);
   }
 
-let synthesize_sg ?(config = default_config) ?(csc_certified = false) complete =
+let synthesize_sg_uncached ~config ~csc_certified complete =
   let t0 = Sys.time () in
   let counter = ref 0 in
   let fresh_name () =
@@ -388,7 +493,10 @@ let synthesize_sg ?(config = default_config) ?(csc_certified = false) complete =
               names))
   in
   let minimizer = if config.exact_covers then `Exact else `Heuristic in
-  let functions = Derive.synthesize ~minimizer ~support_of expanded in
+  let functions =
+    Derive.synthesize ~minimizer ~memo_cover:(memo_cover_of config) ~support_of
+      expanded
+  in
   let functions =
     if config.hazard_free then
       List.map (Hazard.hazard_free_enlargement expanded) functions
@@ -405,6 +513,16 @@ let synthesize_sg ?(config = default_config) ?(csc_certified = false) complete =
     elapsed = Sys.time () -. t0;
   }
 
+(* A whole synthesis run keyed by the complete state graph's content:
+   the entry carries every downstream stage at once — per-output
+   modular projections, CSC solutions, propagated expansions, and
+   minimized covers. *)
+let synthesize_sg ?(config = default_config) ?(csc_certified = false) complete =
+  memoize config ~stage:"synth-sg"
+    ~params:(("certified", string_of_bool csc_certified) :: fingerprint config)
+    (Sg.digest complete)
+    (fun () -> synthesize_sg_uncached ~config ~csc_certified complete)
+
 (* The prescreen is purely structural (rule A6): when every non-input
    signal is provably locked with every signal, the state graph has
    unique state codes and the SAT machinery can be bypassed.  The
@@ -414,38 +532,54 @@ let synthesize_sg ?(config = default_config) ?(csc_certified = false) complete =
 let certificate config stg =
   config.prescreen && Lint.prescreen stg <> None
 
+(* Reachability exploration + consistent state assignment, keyed by the
+   canonical [.g] digest of the specification. *)
+let complete_of_stg config stg =
+  memoize config ~stage:"sg"
+    ~params:[ ("max_states", string_of_int config.max_states) ]
+    (Cache_key.stg_digest stg)
+    (fun () -> Sg.of_stg ~max_states:config.max_states stg)
+
 let synthesize ?(config = default_config) stg =
-  let csc_certified = certificate config stg in
-  let complete = Sg.of_stg ~max_states:config.max_states stg in
-  synthesize_sg ~config ~csc_certified complete
+  (* The top-level entry elides even the reachability exploration and
+     the structural prescreen on a warm run. *)
+  memoize config ~stage:"synth" ~params:(fingerprint config)
+    (Cache_key.stg_digest stg)
+    (fun () ->
+      let csc_certified = certificate config stg in
+      let complete = complete_of_stg config stg in
+      synthesize_sg ~config ~csc_certified complete)
 
 let synthesize_best ?(config = default_config) stg =
-  let csc_certified = certificate config stg in
-  let complete = Sg.of_stg ~max_states:config.max_states stg in
-  let area r = Derive.total_literals r.functions in
-  (* The portfolio candidates are independent full runs over the same
-     immutable complete graph, so they fan out over the pool.  Results
-     come back in candidate order and the min-area fold below keeps the
-     earlier candidate on ties, so the winner never depends on
-     scheduling. *)
-  let candidates =
-    Pool.map_filter ~jobs:config.jobs
-      (fun normalize_modules ->
-        match
-          synthesize_sg
-            ~config:{ config with normalize_modules }
-            ~csc_certified complete
-        with
-        | r -> Some r
-        | exception Synthesis_failed _ -> None)
-      [ true; false ]
-  in
-  match candidates with
-  | [] -> raise (Synthesis_failed "no portfolio configuration succeeded")
-  | first :: rest ->
-    List.fold_left
-      (fun best r -> if area r < area best then r else best)
-      first rest
+  memoize config ~stage:"synth-best" ~params:(fingerprint config)
+    (Cache_key.stg_digest stg)
+    (fun () ->
+      let csc_certified = certificate config stg in
+      let complete = complete_of_stg config stg in
+      let area r = Derive.total_literals r.functions in
+      (* The portfolio candidates are independent full runs over the same
+         immutable complete graph, so they fan out over the pool.  Results
+         come back in candidate order and the min-area fold below keeps the
+         earlier candidate on ties, so the winner never depends on
+         scheduling. *)
+      let candidates =
+        Pool.map_filter ~jobs:config.jobs
+          (fun normalize_modules ->
+            match
+              synthesize_sg
+                ~config:{ config with normalize_modules }
+                ~csc_certified complete
+            with
+            | r -> Some r
+            | exception Synthesis_failed _ -> None)
+          [ true; false ]
+      in
+      match candidates with
+      | [] -> raise (Synthesis_failed "no portfolio configuration succeeded")
+      | first :: rest ->
+        List.fold_left
+          (fun best r -> if area r < area best then r else best)
+          first rest)
 
 let initial_states r = Sg.n_states r.complete
 let initial_signals r = Sg.n_signals r.complete

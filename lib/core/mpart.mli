@@ -47,6 +47,20 @@ type config = {
           analyses are recomputed).  Default: {!Pool.default_jobs} at
           module initialization ([MPSYN_JOBS] or the machine's
           recommended domain count). *)
+  cache : Cache_store.t option;
+      (** content-addressed memoization of the solver-independent
+          stages (default [None]: no caching).  Keys combine the
+          canonical [.g] digest of the specification (or the content
+          digest of the derived graph) with a fingerprint of every
+          jobs-invariant option above, so a cached entry is only ever
+          replayed for a run that would have recomputed it bit for bit.
+          Cached stages: the complete state graph (reachability +
+          consistent assignment), per-output modular CSC solutions
+          (keyed by the module graph's digest — edits outside an
+          output's input-set cone leave its entry valid, the
+          incremental-re-synthesis property of partitioned
+          representations), minimized covers, and whole synthesis
+          results.  Failures are never cached. *)
 }
 
 val default_config : config

@@ -27,7 +27,22 @@ let on_off_sets sg ~signal =
   ( List.sort_uniq Int.compare !on,
     List.sort_uniq Int.compare !off )
 
-let synthesize_one ?(minimizer = `Heuristic) sg ~signal ~support =
+type cover_memo =
+  minimizer:[ `Heuristic | `Exact ] ->
+  width:int ->
+  onset:int list ->
+  offset:int list ->
+  (unit -> Cover.t) ->
+  Cover.t
+
+(* The default memo is the identity: compute.  A caller (the synthesis
+   cache) can interpose persistent memoization of the minimized covers
+   — the espresso/exact step is the only expensive part of derivation
+   and depends on nothing but its literal arguments. *)
+let no_memo ~minimizer:_ ~width:_ ~onset:_ ~offset:_ compute = compute ()
+
+let synthesize_one ?(minimizer = `Heuristic) ?(memo_cover = no_memo) sg ~signal
+    ~support =
   if Sg.n_extras sg > 0 then
     invalid_arg "Derive.synthesize_one: expand the state graph first";
   let onset, offset = on_off_sets sg ~signal in
@@ -52,12 +67,13 @@ let synthesize_one ?(minimizer = `Heuristic) sg ~signal ~support =
   let offset_p = List.sort_uniq Int.compare (List.map proj offset) in
   let width = List.length support in
   let cover =
-    match minimizer with
-    | `Heuristic -> Espresso.minimize ~width ~onset:onset_p ~offset:offset_p
-    | `Exact -> (
-      try Exact.minimize ~width ~onset:onset_p ~offset:offset_p ()
-      with Exact.Too_large _ ->
-        Espresso.minimize ~width ~onset:onset_p ~offset:offset_p)
+    memo_cover ~minimizer ~width ~onset:onset_p ~offset:offset_p (fun () ->
+        match minimizer with
+        | `Heuristic -> Espresso.minimize ~width ~onset:onset_p ~offset:offset_p
+        | `Exact -> (
+          try Exact.minimize ~width ~onset:onset_p ~offset:offset_p ()
+          with Exact.Too_large _ ->
+            Espresso.minimize ~width ~onset:onset_p ~offset:offset_p))
   in
   {
     signal;
@@ -69,7 +85,7 @@ let synthesize_one ?(minimizer = `Heuristic) sg ~signal ~support =
     cover;
   }
 
-let synthesize ?minimizer ?(support_of = fun _ -> None) sg =
+let synthesize ?minimizer ?memo_cover ?(support_of = fun _ -> None) sg =
   let non_inputs =
     List.filter (Sg.non_input sg) (List.init (Sg.n_signals sg) Fun.id)
   in
@@ -82,7 +98,7 @@ let synthesize ?minimizer ?(support_of = fun _ -> None) sg =
           let onset, offset = on_off_sets sg ~signal:s in
           Support.reduce ~width:(Sg.n_signals sg) ~onset ~offset
       in
-      synthesize_one ?minimizer sg ~signal:s ~support)
+      synthesize_one ?minimizer ?memo_cover sg ~signal:s ~support)
     non_inputs
 
 let total_literals fs =

@@ -22,6 +22,20 @@ exception Not_csc of string
 (** [implied_value sg m s] is the next value of signal [s] in state [m]. *)
 val implied_value : Sg.t -> int -> int -> bool
 
+(** A memoization hook around cover minimization.  [memo ~minimizer
+    ~width ~onset ~offset compute] must return [compute ()] or a value
+    previously returned by [compute] under the {e same} four arguments
+    — the minimized cover depends on nothing else, which is what makes
+    it safe for the content-addressed synthesis cache to persist.  The
+    default hook always computes. *)
+type cover_memo =
+  minimizer:[ `Heuristic | `Exact ] ->
+  width:int ->
+  onset:int list ->
+  offset:int list ->
+  (unit -> Cover.t) ->
+  Cover.t
+
 (** [synthesize_one ?minimizer sg ~signal ~support] derives and minimizes
     the function of [signal] over the given support (signal ids).  If the
     support is insufficient it is grown minimally ({!Support.grow}); the
@@ -29,11 +43,13 @@ val implied_value : Sg.t -> int -> int -> bool
     @param minimizer [`Heuristic] (default, {!Espresso}) or [`Exact]
            ({!Exact}, silently falling back to the heuristic when the
            instance defeats its caps).
+    @param memo_cover see {!cover_memo}.
     Raises [Invalid_argument] when the graph still carries extras.
     @raise Not_csc when even the full signal set cannot separate the
     on-set from the off-set. *)
 val synthesize_one :
   ?minimizer:[ `Heuristic | `Exact ] ->
+  ?memo_cover:cover_memo ->
   Sg.t ->
   signal:int ->
   support:int list ->
@@ -44,6 +60,7 @@ val synthesize_one :
     [None] means "greedily reduce from the full signal set". *)
 val synthesize :
   ?minimizer:[ `Heuristic | `Exact ] ->
+  ?memo_cover:cover_memo ->
   ?support_of:(int -> int list option) ->
   Sg.t ->
   func list

@@ -440,6 +440,59 @@ let of_stg ?max_states stg =
   | None -> assert false (* no extras: merging cannot fail *)
 
 (* ------------------------------------------------------------------ *)
+(* Content digest                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* An explicit structural dump, not [Marshal]: marshaling bakes the
+   physical sharing pattern of the arrays into the bytes, so a graph
+   rebuilt from a cache entry could digest differently from the graph
+   it was built from.  The dump covers exactly the logical content —
+   name, signals, codes, edges, extras, initial — and two graphs with
+   equal content digest identically no matter how they were produced. *)
+let digest sg =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add sg.name;
+  add "\x00";
+  Array.iter
+    (fun si ->
+      add si.sname;
+      add (if si.non_input then "!" else "?"))
+    sg.signals;
+  add "\x00";
+  Array.iter (fun c -> Buffer.add_string buf (string_of_int c ^ ",")) sg.codes;
+  add "\x00";
+  Array.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d%s%d;" e.src
+           (match e.label with
+           | Eps -> "e"
+           | Ev (s, R) -> Printf.sprintf "+%d:" s
+           | Ev (s, F) -> Printf.sprintf "-%d:" s)
+           e.dst))
+    sg.edges;
+  add "\x00";
+  Array.iter
+    (fun x ->
+      add x.xname;
+      add ":";
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf
+            (match v with
+            | Fourval.V0 -> '0'
+            | Fourval.V1 -> '1'
+            | Fourval.Up -> 'u'
+            | Fourval.Dn -> 'd'))
+        x.values;
+      add ";")
+    sg.extras;
+  add "\x00";
+  add (string_of_int sg.initial);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
 (* Printing                                                            *)
 (* ------------------------------------------------------------------ *)
 

@@ -147,6 +147,15 @@ val quotient :
   t -> keep_signal:(int -> bool) -> keep_extra:(string -> bool) ->
   (t * int array) option
 
+(** {1 Content digest} *)
+
+(** [digest sg] is a hex digest of the graph's logical content (name,
+    signals, codes, edges, extras, initial state), independent of how
+    the graph was produced — the state-graph-level cache key of the
+    content-addressed synthesis cache.  Two graphs constructed the same
+    way digest identically; any content difference digests apart. *)
+val digest : t -> string
+
 (** {1 Output} *)
 
 val pp_state : t -> Format.formatter -> int -> unit

@@ -83,20 +83,61 @@ let passed r =
    semi-modularity, covers, structural lint) always run, so a skipping
    certificate is still cross-checked on every component that does not
    require simulation. *)
-let certify ?max_states ?(skip_when_certified = false) impl =
+let certify ?max_states ?(skip_when_certified = false) ?cache impl =
   let t0 = Sys.time () in
+  (* Content-addressed memoization of the two explorations.  The keys
+     cover everything the result depends on: the graphs' content
+     digests, the netlist's rendered form, the reset valuation, and the
+     exploration cap.  A warm hit elides {!Conform.check} — visible as
+     a frozen {!Sim_calls} counter, exactly like a static certificate. *)
+  let memo_conform ~stage ~spec_digest ~content compute =
+    match (cache : Cache_store.t option) with
+    | None -> compute ()
+    | Some store -> (
+      let key =
+        Cache_key.entry ~stage
+          ~params:
+            [
+              ( "max_states",
+                match max_states with
+                | None -> "default"
+                | Some n -> string_of_int n );
+            ]
+          (Cache_key.string_digest (spec_digest ^ "\n" ^ content))
+      in
+      match Cache_store.get store key with
+      | Some (r : Conform.report) -> r
+      | None ->
+        let r = compute () in
+        Cache_store.put store key r;
+        r)
+  in
   let hazard =
     Hazard_check.analyze ~expanded:impl.expanded ~functions:impl.functions
       impl.netlist
+  in
+  let netlist_content =
+    lazy
+      (Netlist.to_verilog impl.netlist
+      ^ String.concat ";"
+          (List.map
+             (fun (n, v) -> Printf.sprintf "%s=%b" n v)
+             impl.initial))
   in
   let conform =
     if skip_when_certified && Hazard_check.certified hazard then None
     else
       Some
-        (Conform.check ?max_states ~spec:impl.expanded ~initial:impl.initial
-           impl.netlist)
+        (memo_conform ~stage:"conform" ~spec_digest:(Sg.digest impl.expanded)
+           ~content:(Lazy.force netlist_content) (fun () ->
+             Conform.check ?max_states ~spec:impl.expanded ~initial:impl.initial
+               impl.netlist))
   in
-  let refinement = Conform.refines ?max_states ~spec:impl.spec impl.expanded in
+  let refinement =
+    memo_conform ~stage:"refines" ~spec_digest:(Sg.digest impl.spec)
+      ~content:(Sg.digest impl.expanded) (fun () ->
+        Conform.refines ?max_states ~spec:impl.spec impl.expanded)
+  in
   {
     hazard;
     conform;
@@ -149,7 +190,7 @@ let lint_gate stg =
   | [] -> None
   | d :: _ -> Some (Printf.sprintf "lint [%s]: %s" d.Diagnostic.rule d.Diagnostic.message)
 
-let synthesize_with ?backtrack_limit ?time_limit backend stg =
+let synthesize_with ?backtrack_limit ?time_limit ?cache backend stg =
   match lint_gate stg with
   | Some msg -> Error msg
   | None -> (
@@ -159,7 +200,13 @@ let synthesize_with ?backtrack_limit ?time_limit backend stg =
       match backend with Walksat -> `Sat | Dpll -> `Dpll | _ -> `Bdd
     in
     let config =
-      { Mpart.default_config with backtrack_limit; time_limit; backend = engine }
+      {
+        Mpart.default_config with
+        backtrack_limit;
+        time_limit;
+        backend = engine;
+        cache;
+      }
     in
     match Mpart.synthesize ~config stg with
     | r -> Ok (impl_of_result r)
@@ -197,13 +244,13 @@ type differential = {
    decision engines — and tolerates the whole-graph [Direct] baseline
    timing out on instances that are exactly the paper's motivation. *)
 let differential_one ?(backends = all_backends) ?backtrack_limit ?time_limit
-    ?max_states stg =
+    ?max_states ?cache stg =
   let verdicts =
     List.map
       (fun b ->
         let v =
-          match synthesize_with ?backtrack_limit ?time_limit b stg with
-          | Ok impl -> Ok (certify ?max_states impl)
+          match synthesize_with ?backtrack_limit ?time_limit ?cache b stg with
+          | Ok impl -> Ok (certify ?max_states ?cache impl)
           | Error msg -> Error msg
         in
         (b, v))

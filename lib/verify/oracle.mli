@@ -64,12 +64,22 @@ val static_agrees : report -> bool
 
 val passed : report -> bool
 
-(** [certify ?max_states ?skip_when_certified impl] runs the static
-    H1–H5 pass and the dynamic checks.  With [skip_when_certified]
-    (default [false]) a static certificate elides the exponential
-    {!Conform.check} product exploration — {!Sim_calls} proves the skip
-    — while the cheap graph-level checks still run. *)
-val certify : ?max_states:int -> ?skip_when_certified:bool -> impl -> report
+(** [certify ?max_states ?skip_when_certified ?cache impl] runs the
+    static H1–H5 pass and the dynamic checks.  With
+    [skip_when_certified] (default [false]) a static certificate elides
+    the exponential {!Conform.check} product exploration — {!Sim_calls}
+    proves the skip — while the cheap graph-level checks still run.
+    With [cache] the two explorations ({!Conform.check} and
+    {!Conform.refines}) are memoized content-addressed: the key covers
+    the graphs' content digests, the rendered netlist, the reset
+    valuation, and the exploration cap, so a warm verification replays
+    the cold verdict byte for byte and leaves {!Sim_calls} frozen. *)
+val certify :
+  ?max_states:int ->
+  ?skip_when_certified:bool ->
+  ?cache:Cache_store.t ->
+  impl ->
+  report
 
 val pp_report : Format.formatter -> report -> unit
 
@@ -88,6 +98,7 @@ val all_backends : backend list
 val synthesize_with :
   ?backtrack_limit:int ->
   ?time_limit:float ->
+  ?cache:Cache_store.t ->
   backend ->
   Stg.t ->
   (impl, string) result
@@ -108,13 +119,16 @@ type differential = {
           implementation passed its certificate *)
 }
 
-(** [differential_one ?backends ?max_states stg] cross-checks one
-    specification over the given backends (default {!all_backends}). *)
+(** [differential_one ?backends ?max_states ?cache stg] cross-checks one
+    specification over the given backends (default {!all_backends}).
+    [cache] threads the synthesis cache through every backend run and
+    certificate, so seeded fuzz re-runs are warm. *)
 val differential_one :
   ?backends:backend list ->
   ?backtrack_limit:int ->
   ?time_limit:float ->
   ?max_states:int ->
+  ?cache:Cache_store.t ->
   Stg.t ->
   differential
 

@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- modules         partition statistics (E5)
      dune exec bench/main.exe -- hazard          static H1-H5 vs dynamic (E9)
      dune exec bench/main.exe -- cache           cold vs warm cache (E10)
+     dune exec bench/main.exe -- prefix          prefix vs explicit graph (E11)
      dune exec bench/main.exe -- micro           Bechamel component benches
      dune exec bench/main.exe -- json [NAME..]   write BENCH_results.json
      dune exec bench/main.exe -- check F B       compare fresh F vs baseline B
@@ -259,6 +260,9 @@ type trajectory_row = {
   t_cache_warm : float; (* wall seconds, same cache, second run *)
   t_cache_hits : int; (* cache hits during the warm run *)
   t_cache_identical : bool; (* cold = warm = uncached netlist bytes *)
+  t_prefix_events : int; (* non-cutoff events of the complete prefix *)
+  t_prefix_time : float; (* wall seconds, Prefix_rules.analyze *)
+  t_prefix_agree : bool; (* U3/U4 verdicts = explicit ground truth *)
 }
 
 (* The static H1-H5 pass and the dynamic product exploration it can
@@ -310,6 +314,17 @@ let measure ~par name stg =
   let t_cache_hits = Cache_calls.hits () in
   remove_tree dir;
   let reference = netlist_verilog stg r1 in
+  (* the partial-order columns: exact verdicts from the complete prefix
+     must agree with the explicit construction on every trajectory run *)
+  let psum, t_prefix_time = wall (fun () -> Prefix_rules.analyze stg) in
+  let t_prefix_agree =
+    let g = Reach.explore (Stg.net stg) in
+    let sg = Sg.of_stg stg in
+    psum.Prefix_rules.s_markings = Some (Reach.n_states g)
+    && psum.Prefix_rules.s_sg_states = Some (Sg.n_states sg)
+    && psum.Prefix_rules.s_usc = Some (Csc.usc_satisfied sg)
+    && psum.Prefix_rules.s_csc = Some (Csc.csc_satisfied sg)
+  in
   {
     t_name = name;
     t_states = Mpart.final_states rp;
@@ -326,6 +341,10 @@ let measure ~par name stg =
     t_cache_hits;
     t_cache_identical =
       netlist_verilog stg rc = reference && netlist_verilog stg rw = reference;
+    t_prefix_events =
+      psum.Prefix_rules.s_events - psum.Prefix_rules.s_cutoffs;
+    t_prefix_time;
+    t_prefix_agree;
   }
 
 let speedup row = if row.t_par > 0.0 then row.t_seq /. row.t_par else 1.0
@@ -373,11 +392,12 @@ let write_trajectory path ~par rows =
   List.iteri
     (fun i row ->
       Printf.fprintf oc
-        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b}%s\n"
+        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b,\"prefix_events\":%d,\"prefix_time\":%.6f,\"prefix_agree\":%b}%s\n"
         row.t_name row.t_states row.t_area row.t_seq row.t_par (speedup row)
         row.t_identical row.t_hazard_verdict row.t_hazard row.t_dynamic
         row.t_bdd_nodes row.t_cache_cold row.t_cache_warm (cache_speedup row)
-        row.t_cache_hits row.t_cache_identical
+        row.t_cache_hits row.t_cache_identical row.t_prefix_events
+        row.t_prefix_time row.t_prefix_agree
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -441,6 +461,7 @@ type traj_row = {
   j_hazard_time : float option;
   j_cache_identical : bool option; (* absent in pre-cache baselines *)
   j_cache_warm : float option;
+  j_prefix_agree : bool option; (* absent in pre-prefix baselines *)
 }
 
 let read_trajectory path =
@@ -470,6 +491,8 @@ let read_trajectory path =
                Option.bind (field_raw line "cache_identical") bool_of_string_opt;
              j_cache_warm =
                Option.bind (field_raw line "cache_warm") float_of_string_opt;
+             j_prefix_agree =
+               Option.bind (field_raw line "prefix_agree") bool_of_string_opt;
            }
            :: !rows
      done
@@ -514,6 +537,15 @@ let check fresh_path base_path =
         | Some false ->
           incr failures;
           Printf.printf "%-16s FAIL: warm-cache netlist diverges\n" b.j_name
+        | _ -> ());
+        (* exactness is absolute: a prefix verdict disagreeing with the
+           explicit ground truth gates regardless of the baseline *)
+        (match f.j_prefix_agree with
+        | Some false ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: prefix verdicts disagree with the state graph\n"
+            b.j_name
         | _ -> ());
         (* warm-cache wall time gates with the same factor and noise
            floor; pre-cache baselines have no column to compare *)
@@ -671,6 +703,89 @@ let cache_table () =
   else begin
     print_endline "E10 ok: byte-identical, every warm run hit, speedup >= 2x";
     0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* E11: partial-order prefix vs explicit state-space construction      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every suite benchmark plus the two generated families that motivate
+   the engine: lock rings (A6-certified, prefix linear in the ring) and
+   parallel rings (CSC holds but A6 abstains — only the exact U3
+   verdict certifies them, against exponentially many states).  The
+   table is also the CI agreement gate: any prefix verdict that
+   disagrees with the explicit ground truth fails the run. *)
+let prefix_table () =
+  print_endline
+    "== E11: complete-prefix unfolding vs explicit state exploration ==";
+  Printf.printf "%-16s %8s %8s %7s %7s %10s %10s %7s %-6s %s\n" "STG" "states"
+    "edges" "events" "noncut" "prefix(s)" "explicit(s)" "ratio" "agree"
+    "prescreen";
+  let failures = ref 0 in
+  let families =
+    List.map
+      (fun (e : Bench_suite.entry) ->
+        (e.Bench_suite.name, e.Bench_suite.build ()))
+      Bench_suite.all
+    @ List.map
+        (fun signals ->
+          ( Printf.sprintf "lock_ring-%d" signals,
+            Bench_gen.lock_ring ~signals ))
+        [ 8; 12 ]
+    @ List.map
+        (fun rings ->
+          ( Printf.sprintf "parrings-%d" rings,
+            Bench_gen.parallel_rings ~rings ))
+        [ 2; 3; 4; 5; 6 ]
+  in
+  (* rows are independent: fan them across the pool, print in order *)
+  let rows =
+    Pool.map_list
+      (fun (name, stg) ->
+        let p, t_prefix = wall (fun () -> Prefix_rules.analyze stg) in
+        let (g, sg), t_explicit =
+          wall (fun () -> (Reach.explore (Stg.net stg), Sg.of_stg stg))
+        in
+        let agree =
+          p.Prefix_rules.s_complete
+          && p.Prefix_rules.s_unsafe = None
+          && p.Prefix_rules.s_autoconc = []
+          && p.Prefix_rules.s_markings = Some (Reach.n_states g)
+          && p.Prefix_rules.s_edges = Some (Reach.n_edges g)
+          && p.Prefix_rules.s_sg_states = Some (Sg.n_states sg)
+          && p.Prefix_rules.s_usc = Some (Csc.usc_satisfied sg)
+          && p.Prefix_rules.s_csc = Some (Csc.csc_satisfied sg)
+          && p.Prefix_rules.s_conflicts = Some (Csc.n_conflicts sg)
+        in
+        let source =
+          match Mpart.certificate_source Mpart.default_config stg with
+          | `Lockrel -> "lockrel"
+          | `Prefix -> "prefix"
+          | `None -> "none"
+        in
+        let noncut = p.Prefix_rules.s_events - p.Prefix_rules.s_cutoffs in
+        ( agree,
+          Printf.sprintf "%-16s %8d %8d %7d %7d %10.4f %10.4f %6.1fx %-6s %s\n"
+            name (Reach.n_states g) (Reach.n_edges g) p.Prefix_rules.s_events
+            noncut t_prefix t_explicit
+            (if t_prefix > 0.0 then t_explicit /. t_prefix else nan)
+            (if agree then "yes" else "NO")
+            source ))
+      families
+  in
+  List.iter
+    (fun (agree, line) ->
+      if not agree then incr failures;
+      print_string line)
+    rows;
+  if !failures = 0 then begin
+    print_endline "E11 ok: every prefix verdict matches the explicit graph";
+    0
+  end
+  else begin
+    Printf.printf "E11 FAIL: %d benchmark(s) disagree with ground truth\n"
+      !failures;
+    1
   end
 
 (* ------------------------------------------------------------------ *)
@@ -835,6 +950,7 @@ let () =
   | "modules" -> modules ()
   | "hazard" -> hazard_table ()
   | "cache" -> exit (cache_table ())
+  | "prefix" -> exit (prefix_table ())
   | "micro" -> micro ()
   | "ablation" -> ablation ()
   | "json" -> exit (json rest)
@@ -859,12 +975,14 @@ let () =
     print_newline ();
     ignore (cache_table () : int);
     print_newline ();
+    ignore (prefix_table () : int);
+    print_newline ();
     ablation ();
     print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown bench %s (expected table1|clauses|scaling|scaling-methods|\
-       modules|hazard|cache|ablation|micro|json|check|all)\n"
+       modules|hazard|cache|prefix|ablation|micro|json|check|all)\n"
       other;
     exit 2

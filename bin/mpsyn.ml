@@ -32,8 +32,10 @@ let exits =
       ~doc:"on command-line errors or unreadable/unknown STG inputs.";
     Cmd.Exit.info exit_lint
       ~doc:
-        "when static analysis rejects the specification (lint errors; with \
-         $(b,--strict), warnings too).";
+        "when static analysis rejects the specification: structural lint \
+         errors, and with $(b,--prefix) also exact partial-order \
+         refutations (U1 unsafeness, U2 autoconcurrency) carrying a \
+         replayable firing sequence; with $(b,--strict), warnings too.";
     Cmd.Exit.info exit_verification
       ~doc:"when verification of a synthesized circuit fails.";
     Cmd.Exit.info exit_refuted
@@ -221,7 +223,19 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "hazard" ] ~doc)
   in
-  let run names json strict netlist hazard jobs_opt cache_opt =
+  let prefix_arg =
+    let doc =
+      "Additionally run the exact partial-order rules U1-U4 on a \
+       complete finite prefix of the STG's unfolding: exact 1-safeness \
+       (proof or replayable refutation), exact autoconcurrency (retiring \
+       A5's false alarms), exact USC/CSC conflict detection, and the \
+       exact state-graph size — all without explicit state exploration.  \
+       Findings merge into the same mpsyn-lint/1 report; U1/U2 \
+       refutations exit $(b,3)."
+    in
+    Arg.(value & flag & info [ "prefix" ] ~doc)
+  in
+  let run names json strict netlist hazard prefix jobs_opt cache_opt =
     let jobs = resolve_jobs jobs_opt in
     let cache = resolve_cache cache_opt in
     if hazard && not netlist then begin
@@ -248,14 +262,18 @@ let lint_cmd =
     let results =
       Pool.map_list ~jobs
         (fun (name, (stg, map)) ->
-          let { Lint.report; _ } = Lint.run ?map stg in
+          let config = { Mpart.default_config with jobs; cache } in
+          (* one prefix per specification, shared by the U-rules, the A5
+             exact oracle and the H2 prune — and, through the cache, by
+             any later synth/verify run on the same .g text *)
+          let psum =
+            if prefix then Some (Mpart.prefix_summary ~jobs:1 config stg)
+            else None
+          in
+          let { Lint.report; _ } = Lint.run ?map ?prefix:psum stg in
           let netrep =
             if netlist && Diagnostic.clean report then begin
-              match
-                Mpart.synthesize_best
-                  ~config:{ Mpart.default_config with jobs; cache }
-                  stg
-              with
+              match Mpart.synthesize_best ~config stg with
               | r ->
                 let inputs =
                   List.map (Stg.signal_name stg) (Stg.inputs stg)
@@ -266,8 +284,13 @@ let lint_cmd =
                 in
                 let a7 = Lint.run_netlist nl in
                 if hazard then begin
+                  let coexcited =
+                    match psum with
+                    | None -> fun _ _ -> true
+                    | Some p -> Prefix_rules.coexcited_pred p
+                  in
                   let hz =
-                    Hazard_check.analyze ~expanded:r.Mpart.expanded
+                    Hazard_check.analyze ~coexcited ~expanded:r.Mpart.expanded
                       ~functions:r.Mpart.functions nl
                   in
                   let merged =
@@ -315,10 +338,11 @@ let lint_cmd =
     (Cmd.info "lint" ~exits
        ~doc:
          "Statically analyze an STG (and optionally its synthesized \
-          netlist) without building the state space")
+          netlist) without explicit state exploration; $(b,--prefix) adds \
+          the exact partial-order rules U1-U4")
     Term.(
       const run $ stgs_arg $ json_arg $ strict_arg $ netlist_arg $ hazard_arg
-      $ jobs_arg $ cache_arg)
+      $ prefix_arg $ jobs_arg $ cache_arg)
 
 let info_cmd =
   let run stg_name =
@@ -507,11 +531,24 @@ let list_cmd =
 
 let gen_cmd =
   let family =
-    let doc = "Family: pipeline, pulsers, or mixed." in
+    let doc =
+      "Family: pipeline, pulsers, mixed, lockring, or parrings \
+       (independent four-phase rings — CSC holds but the A6 lock \
+       relation abstains, so only the exact prefix prescreen certifies \
+       it)."
+    in
     Arg.(
       required
       & pos 0
-          (some (enum [ ("pipeline", `P); ("pulsers", `C); ("mixed", `M) ]))
+          (some
+             (enum
+                [
+                  ("pipeline", `P);
+                  ("pulsers", `C);
+                  ("mixed", `M);
+                  ("lockring", `L);
+                  ("parrings", `R);
+                ]))
           None
       & info [] ~docv:"FAMILY" ~doc)
   in
@@ -527,6 +564,8 @@ let gen_cmd =
       | `P -> Bench_gen.pipeline ~stages:n
       | `C -> Bench_gen.concurrent_pulsers ~branches:k
       | `M -> Bench_gen.mixed ~stages:n ~branches:k
+      | `L -> Bench_gen.lock_ring ~signals:n
+      | `R -> Bench_gen.parallel_rings ~rings:n
     in
     print_string (Gformat.to_string stg);
     0

@@ -14,7 +14,7 @@ let mutex_by_invariant invs net t1 t2 =
         pre1)
     invs
 
-let check ~loc stg ~pinvs =
+let check ?(exact = fun _ _ -> None) ~loc stg ~pinvs () =
   match pinvs with
   | None -> []
   | Some invs ->
@@ -27,7 +27,13 @@ let check ~loc stg ~pinvs =
         | t1 :: rest ->
           List.iter
             (fun t2 ->
-              if not (mutex_by_invariant invs net t1 t2) then
+              (* an exact verdict supersedes the invariant guess in both
+                 directions: [Some true] pairs surface as U2 errors, and
+                 [Some false] proofs silence the would-be warning *)
+              if
+                exact t1 t2 = None
+                && not (mutex_by_invariant invs net t1 t2)
+              then
                 diags :=
                   Diagnostic.v ~rule ~severity:Warning ~loc
                     ~subject:(Trans (Petri.transition_name net t1))

@@ -7,10 +7,17 @@
     pre-places [p1] of one and [p2] of the other (the same place counts
     twice), the two can never be simultaneously fireable.  Pairs with
     no such proof are flagged — an over-approximation, so findings are
-    warnings, not errors. *)
+    warnings, not errors.
+
+    [?exact] is an optional oracle (see [Prefix_rules.exact_mutex]):
+    when it returns [Some _] for a pair, the pair's status is settled
+    exactly elsewhere and A5 stays silent — [Some true] pairs become
+    U2 errors, [Some false] proofs retire the false-alarm warning. *)
 
 val check :
+  ?exact:(int -> int -> bool option) ->
   loc:Diagnostic.locator ->
   Stg.t ->
   pinvs:Invariants.invariant list option ->
+  unit ->
   Diagnostic.t list

@@ -5,24 +5,40 @@ let potentially_fireable ?(unmarkable = fun _ -> false) net =
   let m0 = Petri.initial_marking net in
   let markable = Array.make np false in
   let fireable = Array.make nt false in
-  for p = 0 to np - 1 do
-    markable.(p) <- Marking.tokens m0 p > 0 && not (unmarkable p)
+  (* Chaotic-iteration worklist instead of the old repeat-until-stable
+     full rescan: [missing.(t)] counts fanin places not yet markable, so
+     every flow arc is processed exactly once and nets whose transitions
+     are all live up front (the common case) cost one linear pass. *)
+  let missing = Array.make nt 0 in
+  let queue = Queue.create () in
+  let mark p =
+    if (not markable.(p)) && not (unmarkable p) then begin
+      markable.(p) <- true;
+      Queue.add p queue
+    end
+  in
+  let fire t =
+    if not fireable.(t) then begin
+      fireable.(t) <- true;
+      List.iter mark (Petri.post net t)
+    end
+  in
+  for t = 0 to nt - 1 do
+    missing.(t) <- List.length (Petri.pre net t)
   done;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    for t = 0 to nt - 1 do
-      if not fireable.(t) && List.for_all (fun p -> markable.(p)) (Petri.pre net t)
-      then begin
-        fireable.(t) <- true;
-        changed := true;
-        List.iter
-          (fun p ->
-            if (not markable.(p)) && not (unmarkable p) then
-              markable.(p) <- true)
-          (Petri.post net t)
-      end
-    done
+  for p = 0 to np - 1 do
+    if Marking.tokens m0 p > 0 then mark p
+  done;
+  for t = 0 to nt - 1 do
+    if missing.(t) = 0 then fire t
+  done;
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    List.iter
+      (fun t ->
+        missing.(t) <- missing.(t) - 1;
+        if missing.(t) = 0 then fire t)
+      (Petri.place_post net p)
   done;
   fireable
 

@@ -56,7 +56,17 @@ let compare_diag a b =
         | None -> (max_int, max_int)
       in
       let c = compare (pos a) (pos b) in
-      if c <> 0 then c else compare (subject_name a.subject) (subject_name b.subject)
+      if c <> 0 then c
+      else
+        let c = compare (subject_name a.subject) (subject_name b.subject) in
+        if c <> 0 then c
+        else
+          (* total order: two findings may share rule, span and subject
+             (e.g. one transition concurrent with two others), and byte
+             identity across --jobs widths must not lean on evaluation
+             order *)
+          let c = compare a.message b.message in
+          if c <> 0 then c else compare a.hint b.hint
 
 let report ~target diagnostics =
   { target; diagnostics = List.stable_sort compare_diag diagnostics }

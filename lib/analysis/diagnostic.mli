@@ -77,7 +77,14 @@ val pp_diag : Format.formatter -> t -> unit
 (** [pp] prints the whole report with a one-line summary header. *)
 val pp : Format.formatter -> report -> unit
 
-(** The version tag stamped on every JSON report, ["mpsyn-lint/1"]. *)
+(** The version tag stamped on every JSON report, ["mpsyn-lint/1"].
+
+    Every finding rides in this one report, whatever engine produced
+    it: the structural A-rules, the netlist hazard H-rules, and the
+    partial-order prefix U-rules ([mpsyn lint --prefix]) all emit
+    {!t} values and merge here — consumers never parse a second
+    diagnostic schema.  (The unfolding engine's standalone certificate,
+    ["mpsyn-prefix/1"], is a proof artifact, not a diagnostic stream.) *)
 val schema : string
 
 (** [to_json r] renders the report as a JSON object with a [schema]

@@ -413,7 +413,8 @@ let to_json r =
 
 (* ---------------- the analysis ---------------- *)
 
-let analyze ?(node_budget = 2_000_000) ~expanded ~functions (nl : Netlist.t) =
+let analyze ?(node_budget = 2_000_000) ?(coexcited = fun _ _ -> true)
+    ~expanded ~functions (nl : Netlist.t) =
   let t0 = Sys.time () in
   let diags = ref [] in
   let cexs = ref [] in
@@ -587,6 +588,11 @@ let analyze ?(node_budget = 2_000_000) ~expanded ~functions (nl : Netlist.t) =
       Array.iter
         (fun (e : Sg.edge) ->
           let csrc = Sg.code expanded e.src and cdst = Sg.code expanded e.dst in
+          let fired_edge =
+            match e.label with
+            | Sg.Ev (s, d) -> Some (Sg.signal_name expanded s, d)
+            | Sg.Eps -> None
+          in
           List.iter
             (fun r ->
               List.iter
@@ -596,8 +602,19 @@ let analyze ?(node_budget = 2_000_000) ~expanded ~functions (nl : Netlist.t) =
                     | Sg.Ev (s, d) -> s = r.sid && d = dir
                     | Sg.Eps -> false
                   in
+                  (* prefix-derived prune: if the fired source-signal
+                     edge is provably never excited together with
+                     (r, dir) at any state, the region test below cannot
+                     fire — a steal requires both excitations at [csrc].
+                     Silent edges and inserted state signals are always
+                     evaluated. *)
+                  let pruned =
+                    match fired_edge with
+                    | Some fe -> not (coexcited (r.sname, dir) fe)
+                    | None -> false
+                  in
                   if
-                    (not fired_this)
+                    (not pruned) && (not fired_this)
                     && Bdd.eval_bits region csrc
                     && not (Bdd.eval_bits region cdst)
                   then begin

@@ -87,9 +87,18 @@ type result = {
 (** [analyze ~expanded ~functions netlist] runs H1–H5.  [expanded] must
     carry no extras (run {!Sg_expand.expand} first); [functions] are the
     derived covers the netlist was generated from.  [node_budget] caps
-    the total BDD size before the checker abstains (default 2e6). *)
+    the total BDD size before the checker abstains (default 2e6).
+
+    [?coexcited] is the H2 prune predicate (see
+    [Prefix_rules.coexcited_pred]): when it returns [false] for a pair
+    of signal edges, the pair is provably never excited at a common
+    state and the corresponding steal test is skipped — sound because a
+    steal requires both excitations at the edge's source state and
+    state-signal insertion only restricts source-signal excitation.
+    Defaults to checking everything. *)
 val analyze :
   ?node_budget:int ->
+  ?coexcited:(string * Sg.edge_dir -> string * Sg.edge_dir -> bool) ->
   expanded:Sg.t ->
   functions:Derive.func list ->
   Netlist.t ->

@@ -3,7 +3,7 @@ type result = { report : Diagnostic.report; cert : Lockrel.cert option }
 let no_error diags =
   not (List.exists (fun d -> d.Diagnostic.severity = Diagnostic.Error) diags)
 
-let run ?map stg =
+let run ?map ?prefix stg =
   let loc =
     match map with
     | Some m -> Diagnostic.of_source_map m
@@ -33,14 +33,24 @@ let run ?map stg =
   let a4, fireable = Deadcode.check ~loc stg ~pinvs in
   let a1 = Consistency.check ~loc stg ~tinvs ~fireable in
   let a3 = Netclass.check ~loc stg in
-  let a5 = Autoconc.check ~loc stg ~pinvs in
+  let exact =
+    match prefix with
+    | None -> fun _ _ -> None
+    | Some p -> Prefix_rules.exact_mutex p
+  in
+  let a5 = Autoconc.check ~exact ~loc stg ~pinvs () in
   let a6, cert =
     Lockrel.check ~loc stg ~pinvs ~a1_clean:(no_error a1)
       ~a4_clean:(no_error a4)
   in
+  let u =
+    match prefix with
+    | None -> []
+    | Some p -> Prefix_rules.diagnostics ~loc stg p
+  in
   let report =
     Diagnostic.report ~target:(Stg.name stg)
-      (capped @ a1 @ a2 @ a3 @ a4 @ a5 @ a6)
+      (capped @ a1 @ a2 @ a3 @ a4 @ a5 @ a6 @ u)
   in
   { report; cert }
 

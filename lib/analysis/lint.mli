@@ -14,9 +14,14 @@ type result = {
       (** present iff A6 certified CSC statically *)
 }
 
-(** [run ?map stg] lints [stg]; [map] (from
-    {!Gformat.parse_file_spans}) attaches source spans to findings. *)
-val run : ?map:Gformat.source_map -> Stg.t -> result
+(** [run ?map ?prefix stg] lints [stg]; [map] (from
+    {!Gformat.parse_file_spans}) attaches source spans to findings.
+    [prefix] merges the partial-order rules U1–U4 into the report:
+    their diagnostics are appended under the same [mpsyn-lint/1]
+    schema, and the exact U2 verdicts silence A5's structural
+    warnings ({!Autoconc.check}'s [?exact] oracle). *)
+val run :
+  ?map:Gformat.source_map -> ?prefix:Prefix_rules.summary -> Stg.t -> result
 
 (** [run_netlist nl] applies the A7 rules to a synthesized netlist. *)
 val run_netlist : Netlist.t -> Diagnostic.report

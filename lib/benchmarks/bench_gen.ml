@@ -45,6 +45,25 @@ let lock_ring ~signals =
     ~outputs:(List.init (signals - 1) (fun i -> name (i + 1)))
     proc
 
+(* Independent four-phase handshake rings running fully concurrently.
+   Each ring in isolation visits 4 states with distinct codes and CSC
+   holds for the product too (each ring's signals encode its own phase),
+   but pairs of signals from different rings never alternate, so the
+   lock relation fails and A6 abstains: this is exactly the family the
+   exact U3 prefix prescreen certifies while the structural one cannot.
+   States grow as [4^rings]; the prefix stays linear ([4·rings]
+   non-cutoff events). *)
+let parallel_rings ~rings =
+  if rings < 1 || rings > 8 then invalid_arg "Bench_gen.parallel_rings";
+  let ring i =
+    let r = Printf.sprintf "r%d" i and a = Printf.sprintf "a%d" i in
+    seq [ plus r; plus a; minus r; minus a ]
+  in
+  let proc = par (List.init rings ring) in
+  let inputs = List.init rings (Printf.sprintf "r%d") in
+  let outputs = List.init rings (Printf.sprintf "a%d") in
+  compile ~name:(Printf.sprintf "parrings%d" rings) ~inputs ~outputs proc
+
 (* Random well-formed STGs for the differential fuzzing oracle: a small
    tree of seq/par/choice combinators whose leaves are four-phase pulses
    on fresh request/acknowledge pairs.  Every leaf returns its signals

@@ -31,6 +31,14 @@ val mixed : stages:int -> branches:int -> Stg.t
     [2 ≤ signals ≤ 26]. *)
 val lock_ring : signals:int -> Stg.t
 
+(** [parallel_rings ~rings] runs [rings] independent four-phase
+    handshake rings fully concurrently ([1 ≤ rings ≤ 8]).  CSC holds
+    (each ring's two wires encode its own phase), but cross-ring signal
+    pairs never alternate, so the A6 lock-relation prescreen abstains —
+    only the exact prefix rule U3 certifies this family, with a prefix
+    linear in [rings] against [4^rings] states. *)
+val parallel_rings : rings:int -> Stg.t
+
 (** [random ~rand] draws a small well-formed STG: a random seq/par/choice
     tree whose leaves are four-phase pulses on fresh request/acknowledge
     pairs (at most 4 pulses, so state spaces stay explorable).  Always

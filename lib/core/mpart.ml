@@ -11,6 +11,9 @@ type config = {
   normalize_modules : bool;
   exact_covers : bool;
   prescreen : bool;
+  prefix_prescreen : bool;
+  prefix_max_events : int;
+  bdd_threshold : int;
   jobs : int;
   cache : Cache_store.t option;
 }
@@ -25,6 +28,9 @@ let default_config =
     normalize_modules = true;
     exact_covers = false;
     prescreen = true;
+    prefix_prescreen = true;
+    prefix_max_events = 2048;
+    bdd_threshold = 2048;
     jobs = Pool.default_jobs ();
     cache = None;
   }
@@ -45,6 +51,9 @@ let fingerprint config =
     ("exact_covers", string_of_bool config.exact_covers);
     ("hazard_free", string_of_bool config.hazard_free);
     ("prescreen", string_of_bool config.prescreen);
+    ("prefix_prescreen", string_of_bool config.prefix_prescreen);
+    ("prefix_max_events", string_of_int config.prefix_max_events);
+    ("bdd_threshold", string_of_int config.bdd_threshold);
     ("max_states", string_of_int config.max_states);
     ( "backtrack_limit",
       match config.backtrack_limit with
@@ -523,14 +532,47 @@ let synthesize_sg ?(config = default_config) ?(csc_certified = false) complete =
     (Sg.digest complete)
     (fun () -> synthesize_sg_uncached ~config ~csc_certified complete)
 
-(* The prescreen is purely structural (rule A6): when every non-input
-   signal is provably locked with every signal, the state graph has
-   unique state codes and the SAT machinery can be bypassed.  The
-   dynamic [Csc.csc_satisfied] checks downstream stay in place as a
-   safety net, so an over-eager certificate degrades to a normal run
-   rather than a wrong circuit. *)
-let certificate config stg =
-  config.prescreen && Lint.prescreen stg <> None
+(* The partial-order prescreen: a complete finite prefix of the STG's
+   unfolding, with the exact U1-U4 verdicts computed on it.  The summary
+   is plain data (no timings, no machine state) and deterministic for
+   any pool width, so it is cached by the specification digest alone —
+   shared across --jobs settings and across lint/synth/verify, which all
+   consult the same entry. *)
+let prefix_summary ?(jobs = 1) config stg =
+  memoize config ~stage:"prefix"
+    ~params:[ ("max_events", string_of_int config.prefix_max_events) ]
+    (Cache_key.stg_digest stg)
+    (fun () ->
+      Prefix_rules.analyze ~jobs ~max_events:config.prefix_max_events stg)
+
+(* CSC prescreens, cheapest first.  A6 (lock relations) is purely
+   structural; when it abstains, the exact U3 verdict from the complete
+   prefix certifies conflict-freedom on nets A6's sufficient condition
+   misses (e.g. USC fails but CSC holds).  The dynamic
+   [Csc.csc_satisfied] checks downstream stay in place as a safety net,
+   so an over-eager certificate degrades to a normal run rather than a
+   wrong circuit. *)
+let certificate_source config stg =
+  if not config.prescreen then `None
+  else if Lint.prescreen stg <> None then `Lockrel
+  else if
+    config.prefix_prescreen
+    && (prefix_summary ~jobs:config.jobs config stg).Prefix_rules.s_csc
+       = Some true
+  then `Prefix
+  else `None
+
+let certificate config stg = certificate_source config stg <> `None
+
+(* U4-driven backend selection: the prefix sweep knows the exact state
+   count before any explicit graph is built, so the constraint engine
+   can be picked statically — BDD-first for big state spaces, the
+   default WalkSAT+DPLL hybrid otherwise.  Only the default [`Sat]
+   choice is overridden; an explicit --backend always wins. *)
+let choose_backend config ~state_bound =
+  match (config.backend, state_bound) with
+  | `Sat, Some n when n >= config.bdd_threshold -> `Bdd
+  | b, _ -> b
 
 (* Reachability exploration + consistent state assignment, keyed by the
    canonical [.g] digest of the specification. *)
@@ -554,7 +596,25 @@ let synthesize_best ?(config = default_config) stg =
   memoize config ~stage:"synth-best" ~params:(fingerprint config)
     (Cache_key.stg_digest stg)
     (fun () ->
-      let csc_certified = certificate config stg in
+      let source = certificate_source config stg in
+      let csc_certified = source <> `None in
+      (match source with
+      | `Prefix ->
+        Log.debug (fun m ->
+            m "CSC certified by the finite prefix (U3); SAT skipped")
+      | `Lockrel | `None -> ());
+      let config =
+        if not config.prefix_prescreen then config
+        else begin
+          let p = prefix_summary ~jobs:config.jobs config stg in
+          let state_bound =
+            match p.Prefix_rules.s_sg_states with
+            | Some _ as b -> b
+            | None -> p.Prefix_rules.s_markings
+          in
+          { config with backend = choose_backend config ~state_bound }
+        end
+      in
       let complete = complete_of_stg config stg in
       let area r = Derive.total_literals r.functions in
       (* The portfolio candidates are independent full runs over the same

@@ -37,6 +37,20 @@ type config = {
       (** run the structural lock-relation CSC prescreen (lint rule A6)
           before building state graphs; a certificate lets the whole
           SAT pipeline be skipped (default true) *)
+  prefix_prescreen : bool;
+      (** when A6 abstains, fall back to the exact partial-order
+          prescreen: build a complete finite prefix of the unfolding
+          and accept rule U3's conflict-free verdict as a CSC
+          certificate; also lets {!synthesize_best} pick a constraint
+          backend from the exact U4 state bound (default true) *)
+  prefix_max_events : int;
+      (** event cap for the prefix construction; past it the prefix
+          rules abstain and synthesis proceeds as if unscreened
+          (default 2048) *)
+  bdd_threshold : int;
+      (** U4 state bound at which {!synthesize_best} switches the
+          default [`Sat] backend to [`Bdd]; an explicit backend choice
+          is never overridden (default 2048) *)
   jobs : int;
       (** domain-pool width for the solver-independent stages: the
           {!synthesize_best} portfolio and the per-output
@@ -109,6 +123,27 @@ val synthesize : ?config:config -> Stg.t -> result
     (the caller ran the prescreen); modules then skip conflict analysis
     and SAT. *)
 val synthesize_sg : ?config:config -> ?csc_certified:bool -> Sg.t -> result
+
+(** [prefix_summary ?jobs config stg] is the memoized partial-order
+    analysis of [stg] ({!Prefix_rules.analyze} with
+    [config.prefix_max_events]): the entry is keyed by the canonical
+    [.g] digest and the event cap only — the summary is deterministic
+    for any pool width and carries no timings, so lint, synthesis and
+    verification all share one cached prefix per specification. *)
+val prefix_summary : ?jobs:int -> config -> Stg.t -> Prefix_rules.summary
+
+(** [certificate_source config stg] says which prescreen certified CSC:
+    the structural A6 lock relation, the exact prefix rule U3 (tried
+    only when A6 abstains and [config.prefix_prescreen]), or neither.
+    [`Prefix] is what lets nets whose USC fails but CSC holds skip the
+    SAT pipeline — A6's sufficient condition cannot see those. *)
+val certificate_source : config -> Stg.t -> [ `Lockrel | `Prefix | `None ]
+
+(** [choose_backend config ~state_bound] applies the U4 heuristic: the
+    default [`Sat] backend becomes [`Bdd] when the exact state bound
+    reaches [config.bdd_threshold]; explicit choices pass through. *)
+val choose_backend :
+  config -> state_bound:int option -> [ `Sat | `Dpll | `Bdd ]
 
 (** [synthesize_best ?config stg] runs a small configuration portfolio
     (module normalization on and off — the greedy pipeline is chaotic

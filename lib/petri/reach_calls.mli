@@ -1,0 +1,20 @@
+(** Process-wide explicit-exploration counter.
+
+    {!Reach.explore} bumps this counter once per call, mirroring
+    {!Solver_calls} for the constraint engines.  The prefix-based
+    analyses (lint rules U1–U4 over the {!Unfold} complete finite
+    prefix) claim to answer exactly {e without} building the explicit
+    reachability graph; tests assert the delta around such a run is
+    zero to prove it, rather than trusting the claim.
+
+    The counter is atomic, so explorations issued from pool domains
+    ({!Pool}) are counted exactly under [--jobs N]. *)
+
+(** [bump ()] records one explicit exploration. *)
+val bump : unit -> unit
+
+(** [total ()] is the number of explorations since start (or last reset). *)
+val total : unit -> int
+
+(** [reset ()] zeroes the counter (single-threaded test use only). *)
+val reset : unit -> unit

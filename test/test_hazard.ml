@@ -238,7 +238,9 @@ let test_cli_jobs_deterministic () =
       Alcotest.(check int) ("exit codes agree" ^ fmt) c1 c4;
       Alcotest.(check string) ("output identical" ^ fmt) o1 o4;
       Alcotest.(check bool) ("output nonempty" ^ fmt) true (o1 <> ""))
-    [ ""; "--json" ]
+    (* --prefix merges the partial-order findings into the same report;
+       the byte-identity guarantee must survive that too *)
+    [ ""; "--json"; "--prefix"; "--prefix --json" ]
 
 let () =
   Qseed.announce ();

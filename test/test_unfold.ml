@@ -1,0 +1,377 @@
+(* Complete-prefix unfolding engine and the exact U1-U4 rules.
+
+   The engine's whole value is exactness, so the tests are agreement
+   tests against explicit ground truth:
+   - on every shipped benchmark, the prefix-derived marking graph equals
+     [Reach.explore]'s (as a *set* of markings and a set of edges, not
+     just counts), and the U3 coding verdicts equal [Sg.of_stg] + [Csc];
+   - the same property holds on a pinned-seed fuzz sweep of random
+     well-formed STGs;
+   - the [mpsyn-prefix/1] certificate's cutoff witnesses replay: firing
+     the witness and its companion sequence from the initial marking
+     reaches the same marking;
+   - the counters prove the claimed elisions: the prefix rules never
+     call [Reach.explore], and the prefix CSC prescreen lets synthesis
+     of the parallel-rings family skip SAT entirely — a family the A6
+     lock-relation prescreen provably abstains on. *)
+
+let check b msg = Alcotest.(check bool) msg true b
+
+(* ---------------- exact agreement with the explicit graph ----------- *)
+
+let sorted_marking_set ms = List.sort compare (List.map Marking.pack ms)
+
+(* Reach edge identity is (marking, transition, marking) — the state
+   numberings of the two explorations differ, so compare edges by
+   packed-endpoint triples. *)
+let sorted_edge_set markings edges =
+  List.sort compare
+    (List.map
+       (fun (s, t, d) ->
+         (Marking.pack markings.(s), t, Marking.pack markings.(d)))
+       (Array.to_list edges))
+
+let check_agreement stg =
+  let g = Reach.explore (Stg.net stg) in
+  let sg = Sg.of_stg stg in
+  let p = Prefix_rules.analyze stg in
+  check p.Prefix_rules.s_complete "prefix complete";
+  check (p.Prefix_rules.s_unsafe = None) "U1: no unsafeness refutation";
+  check (p.Prefix_rules.s_autoconc = []) "U2: no autoconcurrency";
+  (* marking sets, not counts *)
+  let u = Unfold.build (Stg.net stg) in
+  let mg = Unfold.marking_graph u in
+  check mg.Unfold.mg_complete "sweep complete";
+  Alcotest.(check (list string))
+    "marking set equals Reach's"
+    (sorted_marking_set (Array.to_list g.Reach.markings))
+    (sorted_marking_set (Array.to_list mg.Unfold.mg_markings));
+  check
+    (sorted_edge_set g.Reach.markings g.Reach.edges
+    = sorted_edge_set mg.Unfold.mg_markings mg.Unfold.mg_edges)
+    "edge set equals Reach's";
+  (* U3/U4 verdicts against Sg/Csc ground truth *)
+  Alcotest.(check (option int))
+    "U4 marking count" (Some (Reach.n_states g)) p.Prefix_rules.s_markings;
+  Alcotest.(check (option int))
+    "U4 edge count" (Some (Reach.n_edges g)) p.Prefix_rules.s_edges;
+  Alcotest.(check (option int))
+    "U4 eps-quotient size" (Some (Sg.n_states sg)) p.Prefix_rules.s_sg_states;
+  Alcotest.(check (option bool))
+    "U3 USC" (Some (Csc.usc_satisfied sg)) p.Prefix_rules.s_usc;
+  Alcotest.(check (option bool))
+    "U3 CSC" (Some (Csc.csc_satisfied sg)) p.Prefix_rules.s_csc;
+  Alcotest.(check (option int))
+    "U3 conflict pairs" (Some (Csc.n_conflicts sg)) p.Prefix_rules.s_conflicts
+
+let test_benchmark name () =
+  match List.assoc_opt name Bench_data.all with
+  | Some build -> check_agreement (build ())
+  | None -> Alcotest.fail ("no such benchmark: " ^ name)
+
+(* ---------------- pinned-seed fuzz sweep --------------------------- *)
+
+let n_fuzz = 50
+
+let test_fuzz_agreement () =
+  let rand = Qseed.state () in
+  for _ = 1 to n_fuzz do
+    check_agreement (Bench_gen.random ~rand)
+  done
+
+(* One qcheck property over the same generator: the prefix marking
+   count equals the explicit exploration's for arbitrary well-formed
+   STGs.  Kept alongside the exhaustive sweep so a failure shrinks and
+   reports the seed through the standard qcheck machinery. *)
+let prop_marking_count =
+  QCheck.Test.make ~count:n_fuzz ~name:"prefix marking count = Reach count"
+    (QCheck.make (fun rand -> Bench_gen.random ~rand))
+    (fun stg ->
+      let g = Reach.explore (Stg.net stg) in
+      let mg = Unfold.marking_graph (Unfold.build (Stg.net stg)) in
+      mg.Unfold.mg_complete
+      && Array.length mg.Unfold.mg_markings = Reach.n_states g)
+
+(* ---------------- certificate replay ------------------------------- *)
+
+(* Pull every "fire"/"companion_fire" name sequence out of the
+   certificate JSON with a dumb scanner (benchmark transition names
+   need no unescaping), and machine-check the cutoff claims: both
+   sequences must be fireable from the initial marking and land on the
+   same marking.  That is exactly what makes a cutoff sound. *)
+let scan_sequences key json =
+  let needle = Printf.sprintf "\"%s\":[" key in
+  let nl = String.length needle and jl = String.length json in
+  let rec find acc i =
+    if i + nl > jl then List.rev acc
+    else if String.sub json i nl = needle then begin
+      let close = String.index_from json (i + nl) ']' in
+      let body = String.sub json (i + nl) (close - (i + nl)) in
+      let names =
+        if body = "" then []
+        else
+          List.map
+            (fun s ->
+              let s = String.trim s in
+              String.sub s 1 (String.length s - 2))
+            (String.split_on_char ',' body)
+      in
+      find (names :: acc) close
+    end
+    else find acc (i + 1)
+  in
+  find [] 0
+
+let fire_sequence net names =
+  let find_trans n =
+    let rec go t =
+      if t >= Petri.n_transitions net then
+        Alcotest.fail ("certificate names unknown transition " ^ n)
+      else if Petri.transition_name net t = n then t
+      else go (t + 1)
+    in
+    go 0
+  in
+  List.fold_left
+    (fun m n ->
+      let t = find_trans n in
+      check (Petri.enabled net m t) ("witness transition enabled: " ^ n);
+      Petri.fire net m t)
+    (Petri.initial_marking net)
+    names
+
+let test_cert_replay name () =
+  let stg = (List.assoc name Bench_data.all) () in
+  let net = Stg.net stg in
+  let u = Unfold.build net in
+  let cert = Unfold.cert_json u in
+  check
+    (String.length cert > 0
+    && String.sub cert 0 26 = "{\"schema\":\"mpsyn-prefix/1\"")
+    "certificate carries its schema";
+  let fires = scan_sequences "fire" cert in
+  let comps = scan_sequences "companion_fire" cert in
+  Alcotest.(check int)
+    "one witness per cutoff" (Unfold.n_cutoffs u) (List.length fires);
+  Alcotest.(check int) "paired sequences" (List.length fires)
+    (List.length comps);
+  List.iter2
+    (fun f c ->
+      let mf = fire_sequence net f and mc = fire_sequence net c in
+      Alcotest.(check string)
+        "cutoff and companion reach the same marking" (Marking.pack mc)
+        (Marking.pack mf))
+    fires comps
+
+(* ---------------- counters prove the elisions ---------------------- *)
+
+(* The U-rules never explore explicitly: the whole analysis — prefix,
+   sweep, coding replay, diagnostics — leaves the Reach counter where
+   it was. *)
+let test_no_reach_calls () =
+  let stg = (List.assoc "vbe4a" Bench_data.all) () in
+  Reach_calls.reset ();
+  let p = Prefix_rules.analyze stg in
+  let _ = Prefix_rules.diagnostics ~loc:Diagnostic.no_loc stg p in
+  Alcotest.(check int) "zero Reach.explore calls" 0 (Reach_calls.total ());
+  (* sanity: the counter does move when exploration happens *)
+  let _ = Reach.explore (Stg.net stg) in
+  Alcotest.(check int) "counter counts" 1 (Reach_calls.total ())
+
+(* Parallel rings: CSC holds but cross-ring pairs never alternate, so
+   the A6 lock relation abstains — only the exact U3 verdict certifies
+   the family, and certified synthesis provably never calls a solver. *)
+let test_parallel_rings_prescreen rings () =
+  let stg = Bench_gen.parallel_rings ~rings in
+  check (Lint.prescreen stg = None) "A6 abstains on parallel rings";
+  let cfg = Mpart.default_config in
+  (match Mpart.certificate_source cfg stg with
+  | `Prefix -> ()
+  | `Lockrel -> Alcotest.fail "A6 certified a family it cannot see"
+  | `None -> Alcotest.fail "U3 failed to certify parallel rings");
+  Solver_calls.reset ();
+  let r = Mpart.synthesize ~config:cfg stg in
+  check r.Mpart.csc_certified "synthesis saw the certificate";
+  Alcotest.(check int) "zero solver calls" 0 (Solver_calls.total ());
+  Alcotest.(check (option string)) "verified" None (Mpart.verify r);
+  (* the partial-order saving the family exists to demonstrate *)
+  let u = Unfold.build (Stg.net stg) in
+  let g = Reach.explore (Stg.net stg) in
+  check
+    (Unfold.n_noncutoff u < Reach.n_states g)
+    "prefix (non-cutoff events) smaller than the state graph"
+
+let test_lockring_bound signals () =
+  let stg = Bench_gen.lock_ring ~signals in
+  let u = Unfold.build (Stg.net stg) in
+  let g = Reach.explore (Stg.net stg) in
+  check (Unfold.complete u) "complete";
+  check
+    (Unfold.n_noncutoff u < Reach.n_states g)
+    "prefix smaller than state graph"
+
+(* U4-driven backend selection is pure and only overrides the default *)
+let test_choose_backend () =
+  let cfg = Mpart.default_config in
+  Alcotest.(check bool) "under threshold stays sat" true
+    (Mpart.choose_backend cfg ~state_bound:(Some (cfg.Mpart.bdd_threshold - 1))
+    = `Sat);
+  Alcotest.(check bool) "over threshold goes bdd" true
+    (Mpart.choose_backend cfg ~state_bound:(Some cfg.Mpart.bdd_threshold)
+    = `Bdd);
+  Alcotest.(check bool) "no bound stays sat" true
+    (Mpart.choose_backend cfg ~state_bound:None = `Sat);
+  Alcotest.(check bool) "explicit choice wins" true
+    (Mpart.choose_backend
+       { cfg with Mpart.backend = `Dpll }
+       ~state_bound:(Some 1_000_000)
+    = `Dpll)
+
+(* ---------------- U1/U2 refute with witnesses ---------------------- *)
+
+(* Two tokens feed the same cycle: place q ends up doubly marked.  U1
+   must refute with a replayable firing sequence; rule A2 (structural)
+   cannot prove anything either way here. *)
+let test_unsafe_witness () =
+  let src =
+    ".model unsafe\n.inputs a\n.outputs b\n.graph\na- a+ b+\na+ p\nb+ p\np \
+     a-\n.marking { <a-,a+> <a-,b+> }\n.end\n"
+  in
+  let stg = Gformat.parse_string src in
+  let p = Prefix_rules.analyze stg in
+  match p.Prefix_rules.s_unsafe with
+  | None -> Alcotest.fail "U1 missed an unsafe net"
+  | Some (place, fire) ->
+    let net = Stg.net stg in
+    let m =
+      List.fold_left (fun m t -> Petri.fire net m t) (Petri.initial_marking net)
+        fire
+    in
+    check (Marking.tokens m place >= 2) "witness doubles the reported place"
+
+(* Same signal on two parallel branches: exact autoconcurrency, an
+   error A5 can only warn about. *)
+let test_autoconc_refutation () =
+  let src =
+    ".model autoc\n.inputs a\n.outputs b\n.graph\na+ b+ b+/2\nb+ a-\nb+/2 \
+     a-\na- a+\n.marking { <a-,a+> }\n.end\n"
+  in
+  let stg = Gformat.parse_string src in
+  let p = Prefix_rules.analyze stg in
+  check (p.Prefix_rules.s_autoconc <> []) "U2 detects the concurrent pair";
+  let ds = Prefix_rules.diagnostics ~loc:Diagnostic.no_loc stg p in
+  check
+    (List.exists
+       (fun d ->
+         d.Diagnostic.rule = "U2-autoconcurrency"
+         && d.Diagnostic.severity = Diagnostic.Error)
+       ds)
+    "U2 reports an error"
+
+(* ---------------- determinism across pool widths ------------------- *)
+
+let test_jobs_deterministic () =
+  List.iter
+    (fun stg ->
+      let net = Stg.net stg in
+      let u1 = Unfold.build ~jobs:1 net and u4 = Unfold.build ~jobs:4 net in
+      Alcotest.(check string)
+        "certificates byte-identical" (Unfold.cert_json u1)
+        (Unfold.cert_json u4);
+      let m1 = Unfold.marking_graph u1 and m4 = Unfold.marking_graph u4 in
+      check
+        (Array.map Marking.pack m1.Unfold.mg_markings
+        = Array.map Marking.pack m4.Unfold.mg_markings)
+        "marking arrays identical";
+      check (m1.Unfold.mg_edges = m4.Unfold.mg_edges) "edge arrays identical")
+    [
+      (List.assoc "mr0" Bench_data.all) ();
+      Bench_gen.parallel_rings ~rings:4;
+      Bench_gen.mixed ~stages:2 ~branches:3;
+    ]
+
+(* ---------------- A4 worklist regression (satellite) --------------- *)
+
+(* The dead-transition rule was rewritten from a repeat-until-stable
+   rescan to a worklist; the lock-ring family (every transition
+   reachable only through the whole ring) and a reverse-declared chain
+   (later-id transitions feed earlier-id ones, the order the old rescan
+   leaned on) pin its behaviour. *)
+let test_deadcode_worklist () =
+  let all_fireable stg =
+    let net = Stg.net stg in
+    let f = Deadcode.potentially_fireable net in
+    Array.for_all Fun.id f
+  in
+  check
+    (all_fireable (Bench_gen.lock_ring ~signals:26))
+    "every lock-ring transition is potentially fireable";
+  (* declaration order deliberately anti-topological *)
+  let src =
+    ".model chain\n.inputs a\n.outputs b c\n.graph\nc+ a-\nb+ c+\na+ b+\na- \
+     a+\n.marking { <a-,a+> }\n.end\n"
+  in
+  check (all_fireable (Gformat.parse_string src)) "reverse-declared chain live";
+  let dead =
+    ".model dead\n.inputs a\n.outputs b\n.graph\na+ a-\na- a+\nb+ b-\nb- \
+     b+\n.marking { <a-,a+> }\n.end\n"
+  in
+  let stg = Gformat.parse_string dead in
+  let f = Deadcode.potentially_fireable (Stg.net stg) in
+  check
+    (not (Array.for_all Fun.id f))
+    "unmarked component stays dead under the worklist"
+
+let () =
+  Qseed.announce ();
+  let agreement =
+    List.map
+      (fun (name, _) -> Alcotest.test_case name `Quick (test_benchmark name))
+      Bench_data.all
+  in
+  Alcotest.run "unfold"
+    [
+      ("benchmark agreement", agreement);
+      ( "fuzz agreement",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "%d random STGs agree with Reach" n_fuzz)
+            `Slow test_fuzz_agreement;
+          Qseed.to_alcotest prop_marking_count;
+        ] );
+      ( "certificate",
+        [
+          Alcotest.test_case "mr0 cutoff witnesses replay" `Quick
+            (test_cert_replay "mr0");
+          Alcotest.test_case "vbe4a cutoff witnesses replay" `Quick
+            (test_cert_replay "vbe4a");
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "U-rules never explore" `Quick test_no_reach_calls;
+          Alcotest.test_case "parallel-rings3: U3 certifies, SAT skipped"
+            `Quick
+            (test_parallel_rings_prescreen 3);
+          Alcotest.test_case "parallel-rings5: U3 certifies, SAT skipped"
+            `Quick
+            (test_parallel_rings_prescreen 5);
+          Alcotest.test_case "lock-ring8 prefix < states" `Quick
+            (test_lockring_bound 8);
+          Alcotest.test_case "backend selection" `Quick test_choose_backend;
+        ] );
+      ( "refutations",
+        [
+          Alcotest.test_case "U1 unsafe witness replays" `Quick
+            test_unsafe_witness;
+          Alcotest.test_case "U2 exact autoconcurrency" `Quick
+            test_autoconc_refutation;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "--jobs 1 = --jobs 4" `Quick
+            test_jobs_deterministic;
+        ] );
+      ( "deadcode worklist",
+        [ Alcotest.test_case "A4 regression" `Quick test_deadcode_worklist ]
+      );
+    ]

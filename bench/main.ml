@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- hazard          static H1-H5 vs dynamic (E9)
      dune exec bench/main.exe -- cache           cold vs warm cache (E10)
      dune exec bench/main.exe -- prefix          prefix vs explicit graph (E11)
+     dune exec bench/main.exe -- solver          solver-core micro (E12)
      dune exec bench/main.exe -- micro           Bechamel component benches
      dune exec bench/main.exe -- json [NAME..]   write BENCH_results.json
      dune exec bench/main.exe -- check F B       compare fresh F vs baseline B
@@ -263,6 +264,10 @@ type trajectory_row = {
   t_prefix_events : int; (* non-cutoff events of the complete prefix *)
   t_prefix_time : float; (* wall seconds, Prefix_rules.analyze *)
   t_prefix_agree : bool; (* U3/U4 verdicts = explicit ground truth *)
+  t_solver_bdd_ops : int; (* computed-table probes of the BDD backend run *)
+  t_solver_props : int; (* CDCL propagations on the direct CSC encoding *)
+  t_solver_conflicts : int; (* CDCL conflicts on the direct CSC encoding *)
+  t_solver_time : float; (* wall seconds, CDCL + BDD backend on the encoding *)
 }
 
 (* The static H1-H5 pass and the dynamic product exploration it can
@@ -325,6 +330,19 @@ let measure ~par name stg =
     && psum.Prefix_rules.s_usc = Some (Csc.usc_satisfied sg)
     && psum.Prefix_rules.s_csc = Some (Csc.csc_satisfied sg)
   in
+  (* the solver columns: the CDCL and BDD backends each work the direct
+     CSC encoding under deterministic budgets (backjumps and nodes, not
+     seconds), so the propagation/conflict/operation counters are exactly
+     reproducible and the check gate can treat their growth as an
+     algorithmic regression rather than timing noise *)
+  let (solver_props, solver_conflicts, solver_bdd_ops), t_solver_time =
+    wall (fun () ->
+        let sg = Sg.of_stg stg in
+        let enc = Csc_encode.encode sg ~n_new:(max 1 (Csc.lower_bound sg)) in
+        let _, st = Dpll.solve ~backtrack_limit:5_000 enc.Csc_encode.cnf in
+        let _, bst = Bdd_solver.solve_with_stats enc.Csc_encode.cnf in
+        (st.Dpll.propagations, st.Dpll.conflicts, bst.Bdd.cache_lookups))
+  in
   {
     t_name = name;
     t_states = Mpart.final_states rp;
@@ -345,6 +363,10 @@ let measure ~par name stg =
       psum.Prefix_rules.s_events - psum.Prefix_rules.s_cutoffs;
     t_prefix_time;
     t_prefix_agree;
+    t_solver_bdd_ops = solver_bdd_ops;
+    t_solver_props = solver_props;
+    t_solver_conflicts = solver_conflicts;
+    t_solver_time;
   }
 
 let speedup row = if row.t_par > 0.0 then row.t_seq /. row.t_par else 1.0
@@ -392,12 +414,13 @@ let write_trajectory path ~par rows =
   List.iteri
     (fun i row ->
       Printf.fprintf oc
-        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b,\"prefix_events\":%d,\"prefix_time\":%.6f,\"prefix_agree\":%b}%s\n"
+        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b,\"prefix_events\":%d,\"prefix_time\":%.6f,\"prefix_agree\":%b,\"solver_bdd_ops\":%d,\"solver_props\":%d,\"solver_conflicts\":%d,\"solver_time\":%.6f}%s\n"
         row.t_name row.t_states row.t_area row.t_seq row.t_par (speedup row)
         row.t_identical row.t_hazard_verdict row.t_hazard row.t_dynamic
         row.t_bdd_nodes row.t_cache_cold row.t_cache_warm (cache_speedup row)
         row.t_cache_hits row.t_cache_identical row.t_prefix_events
-        row.t_prefix_time row.t_prefix_agree
+        row.t_prefix_time row.t_prefix_agree row.t_solver_bdd_ops
+        row.t_solver_props row.t_solver_conflicts row.t_solver_time
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -462,6 +485,10 @@ type traj_row = {
   j_cache_identical : bool option; (* absent in pre-cache baselines *)
   j_cache_warm : float option;
   j_prefix_agree : bool option; (* absent in pre-prefix baselines *)
+  j_solver_bdd_ops : int option; (* absent in pre-solver baselines *)
+  j_solver_props : int option;
+  j_solver_conflicts : int option;
+  j_solver_time : float option;
 }
 
 let read_trajectory path =
@@ -493,6 +520,14 @@ let read_trajectory path =
                Option.bind (field_raw line "cache_warm") float_of_string_opt;
              j_prefix_agree =
                Option.bind (field_raw line "prefix_agree") bool_of_string_opt;
+             j_solver_bdd_ops =
+               Option.bind (field_raw line "solver_bdd_ops") int_of_string_opt;
+             j_solver_props =
+               Option.bind (field_raw line "solver_props") int_of_string_opt;
+             j_solver_conflicts =
+               Option.bind (field_raw line "solver_conflicts") int_of_string_opt;
+             j_solver_time =
+               Option.bind (field_raw line "solver_time") float_of_string_opt;
            }
            :: !rows
      done
@@ -555,6 +590,37 @@ let check fresh_path base_path =
           incr failures;
           Printf.printf
             "%-16s FAIL: warm cache %.3fs vs baseline %.3fs (> %.1fx)\n"
+            b.j_name ft bt regression_factor
+        | _ -> ());
+        (* solver counters are deterministic (no randomization in either
+           backend), so growth beyond the factor is an algorithmic
+           regression, not noise; a small absolute floor ignores trivial
+           formulas where a handful of extra operations is meaningless *)
+        List.iter
+          (fun (what, bv, fv) ->
+            match (bv, fv) with
+            | Some bn, Some fn
+              when float_of_int fn
+                   > (regression_factor *. float_of_int bn)
+                   && fn > 1000 ->
+              incr failures;
+              Printf.printf "%-16s FAIL: %s %d vs baseline %d (> %.1fx)\n"
+                b.j_name what fn bn regression_factor
+            | _ -> ())
+          [
+            ("solver_bdd_ops", b.j_solver_bdd_ops, f.j_solver_bdd_ops);
+            ("solver_props", b.j_solver_props, f.j_solver_props);
+            ("solver_conflicts", b.j_solver_conflicts, f.j_solver_conflicts);
+          ];
+        (* solver wall time gates with the usual factor but a higher
+           noise floor: a tenth-of-a-second backend run doubles under
+           scheduler noise alone, and the deterministic counters above
+           already catch algorithmic regressions at any scale *)
+        (match (b.j_solver_time, f.j_solver_time) with
+        | Some bt, Some ft when ft > (regression_factor *. bt) && ft > 0.5 ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: solver backends %.3fs vs baseline %.3fs (> %.1fx)\n"
             b.j_name ft bt regression_factor
         | _ -> ());
         (* hazard-analysis wall time gates like synthesis wall time,
@@ -789,6 +855,320 @@ let prefix_table () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E12: solver-core microbenchmarks — new engines vs the references    *)
+(* ------------------------------------------------------------------ *)
+
+(* The BDD workloads are engine-generic, instantiated once with the
+   struct-of-arrays [Bdd] and once with the boxed reference [Bdd_ref]
+   (the pre-rewrite implementation kept in-tree as the oracle), so the
+   "before" side is measured from the same binary.  Every workload
+   returns a structural checksum; the two instantiations must agree on
+   it — identical canonical results, only the engine differs. *)
+module type Engine = sig
+  type manager
+  type node
+
+  val manager : unit -> manager
+  val bdd_true : node
+  val bdd_false : node
+  val var : manager -> int -> node
+  val nvar : manager -> int -> node
+  val ite : manager -> node -> node -> node -> node
+  val band : manager -> node -> node -> node
+  val bor : manager -> node -> node -> node
+  val bnot : manager -> node -> node
+  val bxor : manager -> node -> node -> node
+  val exists : manager -> int list -> node -> node
+  val is_false : node -> bool
+  val size : manager -> node -> int
+  val n_nodes : manager -> int
+  val sat_count : manager -> n_vars:int -> node -> float
+end
+
+module New_engine : Engine = struct
+  include Bdd
+
+  let manager () = manager ()
+end
+
+module Ref_engine : Engine = struct
+  include Bdd_ref
+
+  let band = and_
+  let bor = or_
+  let bnot = not_
+  let bxor = xor
+  let size _ n = size n
+  let sat_count _ ~n_vars n = sat_count ~n_vars n
+end
+
+(* The hazard-checker kernel: build per-signal region BDDs from state
+   codes by recursive cofactoring, then sweep pairwise combinations —
+   the op mix (ite-build, or/and/not/xor, single-var quantification)
+   of [Hazard_check.analyze] without its graph bookkeeping. *)
+let region_kernel (module E : Engine) ~n_signals codes =
+  let mgr = E.manager () in
+  let rec of_codes v codes =
+    match codes with
+    | [] -> E.bdd_false
+    | _ when v >= n_signals -> E.bdd_true
+    | _ ->
+      let lo, hi = List.partition (fun c -> c land (1 lsl v) = 0) codes in
+      E.ite mgr (E.var mgr v) (of_codes (v + 1) hi) (of_codes (v + 1) lo)
+  in
+  let regions =
+    Array.init n_signals (fun s ->
+        of_codes 0 (List.filter (fun c -> c land (1 lsl s) <> 0) codes))
+  in
+  let checksum = ref 0 in
+  for i = 0 to n_signals - 1 do
+    for j = i + 1 to n_signals - 1 do
+      let union = E.bor mgr regions.(i) regions.(j) in
+      let uncovered = E.band mgr regions.(i) (E.bnot mgr regions.(j)) in
+      let flips = E.bxor mgr regions.(i) regions.(j) in
+      let quant = E.exists mgr [ i; j ] union in
+      checksum :=
+        !checksum + E.size mgr union + E.size mgr uncovered
+        + E.size mgr flips + E.size mgr quant
+    done
+  done;
+  !checksum
+
+(* N-queens: the classic constraint build, and/or/not heavy with real
+   intermediate blowup; the model count is the cross-engine check. *)
+let queens_kernel (module E : Engine) n =
+  let mgr = E.manager () in
+  let v i j = E.var mgr ((i * n) + j) in
+  let acc = ref E.bdd_true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      (* placing a queen at (i,j) forbids the rest of its row, column
+         and both diagonals *)
+      let attacked = ref E.bdd_true in
+      for k = 0 to n - 1 do
+        if k <> j then attacked := E.band mgr !attacked (E.bnot mgr (v i k));
+        if k <> i then begin
+          attacked := E.band mgr !attacked (E.bnot mgr (v k j));
+          let d1 = j + k - i and d2 = j - k + i in
+          if d1 >= 0 && d1 < n then
+            attacked := E.band mgr !attacked (E.bnot mgr (v k d1));
+          if d2 >= 0 && d2 < n then
+            attacked := E.band mgr !attacked (E.bnot mgr (v k d2))
+        end
+      done;
+      acc := E.band mgr !acc (E.bor mgr (E.bnot mgr (v i j)) !attacked)
+    done;
+    (* at least one queen per row *)
+    let row = ref E.bdd_false in
+    for j = 0 to n - 1 do
+      row := E.bor mgr !row (v i j)
+    done;
+    acc := E.band mgr !acc !row
+  done;
+  int_of_float (E.sat_count mgr ~n_vars:(n * n) !acc)
+
+(* The BDD-backend kernel: the clause-product build of [Bdd_solver],
+   engine-generic, with the solver's node budget.  Returns (1 + product
+   size), 0 for unsat, or -1 on blowup — a checksum that also encodes
+   the verdict.  Node allocation is canonical, so both engines hit the
+   budget at the same clause or not at all. *)
+let product_kernel (module E : Engine) cnf =
+  let mgr = E.manager () in
+  let clause cl =
+    Array.fold_left
+      (fun acc l ->
+        E.bor mgr acc (if l > 0 then E.var mgr l else E.nvar mgr (-l)))
+      E.bdd_false cl
+  in
+  match
+    Array.fold_left
+      (fun acc cl ->
+        let acc = E.band mgr acc (clause cl) in
+        if E.n_nodes mgr > 300_000 then raise_notrace Exit;
+        acc)
+      E.bdd_true (Cnf.clauses cnf)
+  with
+  | product -> if E.is_false product then 0 else 1 + E.size mgr product
+  | exception Exit -> -1
+
+(* Per-run seconds: single shot when the workload is slow enough to
+   trust, otherwise repeated until the total clears a noise budget. *)
+let time_runs f =
+  let r, t1 = wall f in
+  if t1 >= 0.05 then (r, t1)
+  else begin
+    let reps = max 1 (int_of_float (ceil (0.05 /. Float.max 1e-6 t1))) in
+    let _, total = wall (fun () -> for _ = 1 to reps do ignore (f ()) done) in
+    (r, total /. float_of_int reps)
+  end
+
+let random_cnf ~seed ~vars ~clauses =
+  let rng = Random.State.make [| seed |] in
+  let f = Cnf.create () in
+  ignore (Cnf.fresh_vars f vars);
+  for _ = 1 to clauses do
+    let rec pick acc =
+      if List.length acc = 3 then acc
+      else begin
+        let v = 1 + Random.State.int rng vars in
+        if List.mem v acc then pick acc else pick (v :: acc)
+      end
+    in
+    Cnf.add_clause f
+      (List.map
+         (fun v -> if Random.State.bool rng then v else -v)
+         (pick []))
+  done;
+  f
+
+(* Pigeonhole: [p] pigeons into [p - 1] holes, the classic hard UNSAT
+   family for resolution-based solvers. *)
+let php_cnf p =
+  let h = p - 1 in
+  let f = Cnf.create () in
+  ignore (Cnf.fresh_vars f (p * h));
+  let v i j = ((i - 1) * h) + j in
+  for i = 1 to p do
+    Cnf.add_clause f (List.init h (fun j -> v i (j + 1)))
+  done;
+  for j = 1 to h do
+    for i1 = 1 to p do
+      for i2 = i1 + 1 to p do
+        Cnf.add_clause f [ -v i1 j; -v i2 j ]
+      done
+    done
+  done;
+  f
+
+let csc_encoding name =
+  let stg = (Bench_suite.find name).Bench_suite.build () in
+  let sg = Sg.of_stg stg in
+  (Csc_encode.encode sg ~n_new:(max 1 (Csc.lower_bound sg))).Csc_encode.cnf
+
+let solver_table () =
+  print_endline
+    "== E12: solver-core microbenchmarks — SoA ROBDD + CDCL vs references ==";
+  print_endline
+    "-- BDD ops: boxed reference engine vs struct-of-arrays engine --";
+  Printf.printf "%-24s %10s %10s %10s %9s\n" "workload" "check" "ref(s)"
+    "new(s)" "speedup";
+  let agg_ref = ref 0.0 and agg_new = ref 0.0 in
+  let mismatches = ref 0 in
+  let bdd_row name work =
+    let c_ref, t_ref = time_runs (fun () -> work (module Ref_engine : Engine)) in
+    let c_new, t_new = time_runs (fun () -> work (module New_engine : Engine)) in
+    if c_ref <> c_new then incr mismatches;
+    agg_ref := !agg_ref +. t_ref;
+    agg_new := !agg_new +. t_new;
+    Printf.printf "%-24s %10d %10.4f %10.4f %8.2fx%s\n%!" name c_new t_ref
+      t_new
+      (if t_new > 0.0 then t_ref /. t_new else nan)
+      (if c_ref = c_new then "" else "  CHECK MISMATCH")
+  in
+  List.iter
+    (fun name ->
+      let sg = Sg.of_stg ((Bench_suite.find name).Bench_suite.build ()) in
+      let codes = List.init (Sg.n_states sg) (Sg.code sg) in
+      bdd_row
+        (Printf.sprintf "regions:%s" name)
+        (fun e -> region_kernel e ~n_signals:(Sg.n_signals sg) codes))
+    [ "mr0"; "ram-read-sbuf"; "sbuf-ram-write"; "nak-pa" ];
+  List.iter
+    (fun n -> bdd_row (Printf.sprintf "queens-%d" n) (fun e -> queens_kernel e n))
+    [ 6; 7 ];
+  List.iter
+    (fun name ->
+      bdd_row
+        (Printf.sprintf "product:%s" name)
+        (let cnf = csc_encoding name in
+         fun e -> product_kernel e cnf))
+    [ "fifo"; "vbe-ex2"; "nousc-ser"; "vbe-ex1" ];
+  (* the new engine's counter record, from one representative run *)
+  let st =
+    let mgr = Bdd.manager () in
+    let module I = struct
+      include Bdd
+
+      let manager () = mgr
+    end in
+    ignore (queens_kernel (module I : Engine) 6);
+    Bdd.stats mgr
+  in
+  Printf.printf
+    "   new-engine counters (queens-6): %d nodes, unique hit %.1f%%, computed hit %.1f%%\n"
+    st.Bdd.nodes
+    (100.0 *. st.Bdd.unique_hit_rate)
+    (100.0 *. st.Bdd.cache_hit_rate);
+  print_endline "-- CNF: chronological DPLL oracle vs CDCL --";
+  Printf.printf "%-24s %9s %10s %10s %9s %10s %10s\n" "instance" "verdict"
+    "dpll(s)" "cdcl(s)" "speedup" "props" "conflicts";
+  let cnf_mismatches = ref 0 in
+  let cnf_row name cnf =
+    (* the oracle gets a time budget: on instances where chronological
+       backtracking is hopeless, "> budget" is the honest row, and a
+       budget abort is not a verdict disagreement *)
+    let (r_basic, _), t_basic =
+      time_runs (fun () -> Dpll.solve_basic ~time_limit:10.0 cnf)
+    in
+    let (r_cdcl, st), t_cdcl = time_runs (fun () -> Dpll.solve cnf) in
+    let verdict r =
+      match r with
+      | Dpll.Sat _ -> "sat"
+      | Dpll.Unsat -> "unsat"
+      | Dpll.Aborted _ -> "abort"
+    in
+    let mismatch =
+      match (r_basic, r_cdcl) with
+      | Dpll.Aborted _, _ | _, Dpll.Aborted _ -> false
+      | a, b -> verdict a <> verdict b
+    in
+    if mismatch then incr cnf_mismatches;
+    Printf.printf "%-24s %9s %10.4f %10.4f %8.2fx %10d %10d%s\n%!" name
+      (verdict r_cdcl)
+      t_basic t_cdcl
+      (if t_cdcl > 0.0 then t_basic /. t_cdcl else nan)
+      st.Dpll.propagations st.Dpll.conflicts
+      (if mismatch then "  VERDICT MISMATCH"
+       else if verdict r_basic = "abort" then "  (oracle > budget)"
+       else "")
+  in
+  List.iter
+    (fun name -> cnf_row (Printf.sprintf "csc:%s" name) (csc_encoding name))
+    [ "vbe4a"; "nak-pa"; "sbuf-ram-write"; "atod" ];
+  List.iter
+    (fun seed ->
+      cnf_row
+        (Printf.sprintf "rand3-60x252:%d" seed)
+        (random_cnf ~seed ~vars:60 ~clauses:252))
+    [ 1; 2; 3 ];
+  cnf_row "php-7" (php_cnf 7);
+  let aggregate =
+    if !agg_new > 0.0 then !agg_ref /. !agg_new else infinity
+  in
+  Printf.printf
+    "\naggregate BDD rows (hazard kernels + backend products): ref %.3fs, new %.3fs — %.1fx (bar: 2x)\n"
+    !agg_ref !agg_new aggregate;
+  if !mismatches > 0 then begin
+    Printf.printf "E12 FAIL: %d BDD workload checksum mismatch(es)\n"
+      !mismatches;
+    1
+  end
+  else if !cnf_mismatches > 0 then begin
+    Printf.printf "E12 FAIL: %d CDCL/DPLL verdict mismatch(es)\n"
+      !cnf_mismatches;
+    1
+  end
+  else if aggregate < 2.0 then begin
+    Printf.printf "E12 FAIL: aggregate BDD speedup %.1fx below the 2x bar\n"
+      aggregate;
+    1
+  end
+  else begin
+    print_endline "E12 ok: checksums agree, verdicts agree, speedup >= 2x";
+    0
+  end
+
+(* ------------------------------------------------------------------ *)
 (* E5: partition statistics                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -951,6 +1331,7 @@ let () =
   | "hazard" -> hazard_table ()
   | "cache" -> exit (cache_table ())
   | "prefix" -> exit (prefix_table ())
+  | "solver" -> exit (solver_table ())
   | "micro" -> micro ()
   | "ablation" -> ablation ()
   | "json" -> exit (json rest)
@@ -977,12 +1358,14 @@ let () =
     print_newline ();
     ignore (prefix_table () : int);
     print_newline ();
+    ignore (solver_table () : int);
+    print_newline ();
     ablation ();
     print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown bench %s (expected table1|clauses|scaling|scaling-methods|\
-       modules|hazard|cache|prefix|ablation|micro|json|check|all)\n"
+       modules|hazard|cache|prefix|solver|ablation|micro|json|check|all)\n"
       other;
     exit 2

@@ -443,10 +443,10 @@ let analyze ?(node_budget = 2_000_000) ?(coexcited = fun _ _ -> true)
       in
       (* first reachable state satisfying a BDD; regions are built from
          reachable codes only, so a non-false set always has one *)
-      let witness bdd =
+      let witness mgr bdd =
         let rec go m =
           if m >= Sg.n_states expanded then None
-          else if Bdd.eval_bits bdd (Sg.code expanded m) then Some m
+          else if Bdd.eval_bits mgr bdd (Sg.code expanded m) then Some m
           else go (m + 1)
         in
         go 0
@@ -501,7 +501,7 @@ let analyze ?(node_budget = 2_000_000) ?(coexcited = fun _ _ -> true)
           let implied1 = Bdd.or_ r.mgr r.er_rise r.qr_high in
           let implied0 = Bdd.or_ r.mgr r.er_fall r.qr_low in
           let uncovered = Bdd.and_ r.mgr implied1 (Bdd.not_ r.mgr c) in
-          (match witness uncovered with
+          (match witness r.mgr uncovered with
           | Some m ->
             h1_ok := false;
             let cx =
@@ -523,7 +523,7 @@ let analyze ?(node_budget = 2_000_000) ?(coexcited = fun _ _ -> true)
                glitch under any delay assignment"
           | None -> ());
           let overdriven = Bdd.and_ r.mgr c implied0 in
-          match witness overdriven with
+          match witness r.mgr overdriven with
           | Some m ->
             h1_ok := false;
             let cx =
@@ -615,8 +615,8 @@ let analyze ?(node_budget = 2_000_000) ?(coexcited = fun _ _ -> true)
                   in
                   if
                     (not pruned) && (not fired_this)
-                    && Bdd.eval_bits region csrc
-                    && not (Bdd.eval_bits region cdst)
+                    && Bdd.eval_bits r.mgr region csrc
+                    && not (Bdd.eval_bits r.mgr region cdst)
                   then begin
                     let key = (r.sid, dir, csrc, e.label) in
                     if not (Hashtbl.mem seen_h2 key) then begin
@@ -732,7 +732,7 @@ let analyze ?(node_budget = 2_000_000) ?(coexcited = fun _ _ -> true)
               (Bdd.or_ r.mgr r.qr_high r.qr_low)
           in
           let bad = Bdd.and_ r.mgr reach (Bdd.xor r.mgr netlist_exc graph_exc) in
-          (match witness bad with
+          (match witness r.mgr bad with
           | Some m ->
             h5_ok := false;
             let cx =

@@ -1,19 +1,29 @@
-(** Reduced ordered binary decision diagrams.
+(** Reduced ordered binary decision diagrams — struct-of-arrays engine.
 
-    A small, self-contained ROBDD package with hash-consing and memoized
-    [ite], sufficient for the BDD-based constraint satisfaction backend
-    the paper points to as its follow-up ([19]: Puri & Gu, "A Divide and
-    Conquer Approach for Asynchronous Interface Synthesis", HLSS'94).
+    Nodes are indices into parallel integer arrays owned by a
+    {!manager}: no per-node boxing, no polymorphic hashing.  The unique
+    table is open-addressing keyed by an avalanche hash of the
+    [(var, low, high)] triple and grows by rehashing; the computed table
+    is a fixed-size lossy cache, so a long-lived manager's memory stays
+    bounded and correctness never depends on a cache hit.  Each
+    connective ({!band}, {!bor}, {!bnot}, {!bxor}, {!exists}) has a
+    dedicated recursion instead of detouring through {!ite}.
 
-    Variables are non-negative integers ordered by value (smaller = closer
-    to the root).  All nodes live in a {!manager}; nodes from different
-    managers must not be mixed (unchecked, like every classic package). *)
+    Variables are non-negative integers ordered by value (smaller =
+    closer to the root).  Nodes from different managers must not be
+    mixed (unchecked, like every classic package).  Traversals
+    ({!any_sat}, {!eval}, …) take the owning manager explicitly. *)
 
 type manager
 type node
 
-(** [manager ()] creates an empty manager. *)
-val manager : unit -> manager
+(** [manager ()] creates an empty manager.  [cache_bits] sizes the
+    computed table at [2^cache_bits] entries (default 12 — creation
+    stays cheap for the per-signal managers of the hazard checker; 0
+    gives the single-entry table the stress tests use to prove
+    correctness is independent of cache hits).  Raises
+    [Invalid_argument] outside [0..24]. *)
+val manager : ?cache_bits:int -> unit -> manager
 
 val bdd_true : node
 val bdd_false : node
@@ -27,16 +37,30 @@ val var : manager -> int -> node
 
 val nvar : manager -> int -> node
 
-(** Logical connectives. *)
+(** Dedicated connectives. *)
+val band : manager -> node -> node -> node
+
+val bor : manager -> node -> node -> node
+val bnot : manager -> node -> node
+val bxor : manager -> node -> node -> node
+
+(** Three-operand if-then-else, for callers that genuinely have three
+    operands; the binary connectives above are faster. *)
 val ite : manager -> node -> node -> node -> node
 
-val not_ : manager -> node -> node
+(** Legacy aliases for {!band}, {!bor}, {!bnot}.  [xor] is equivalent to
+    {!bxor} but keeps the historical allocation profile (the complement
+    of [g] is materialized), so node counts embedded in hazard
+    certificates are byte-stable across the engine swap; new code should
+    prefer {!bxor}. *)
 val and_ : manager -> node -> node -> node
+
 val or_ : manager -> node -> node -> node
+val not_ : manager -> node -> node
 val xor : manager -> node -> node -> node
 val imp : manager -> node -> node -> node
 
-(** [conj mgr ns] folds {!and_} over [ns] ([bdd_true] when empty);
+(** [conj mgr ns] folds {!band} over [ns] ([bdd_true] when empty);
     [disj] dually. *)
 val conj : manager -> node list -> node
 
@@ -45,7 +69,9 @@ val disj : manager -> node list -> node
 (** [restrict mgr n ~var ~value] is the cofactor of [n]. *)
 val restrict : manager -> node -> var:int -> value:bool -> node
 
-(** [exists mgr vars n] existentially quantifies [vars]. *)
+(** [exists mgr vars n] existentially quantifies [vars], recursing over
+    a cube of the variables in one pass (not one restrict per
+    variable).  Raises [Invalid_argument] on a negative variable. *)
 val exists : manager -> int list -> node -> node
 
 (** [is_true n] / [is_false n] test for the constants. *)
@@ -56,28 +82,43 @@ val is_false : node -> bool
 (** [equal a b] is constant-time (hash-consing). *)
 val equal : node -> node -> bool
 
-(** [size n] counts the distinct internal nodes of [n]. *)
-val size : node -> int
+(** [size mgr n] counts the distinct internal nodes of [n]. *)
+val size : manager -> node -> int
 
 (** [n_nodes mgr] counts the nodes ever created in the manager. *)
 val n_nodes : manager -> int
 
-(** [any_sat n] returns a partial assignment — [(variable, value)] pairs,
-    increasing variable order — describing one satisfying path, choosing
-    the [false] branch whenever possible (the "all quiet" model that
-    gives state signals compact excitation regions).  [None] when [n] is
-    unsatisfiable.  Variables absent from the result are don't-care. *)
-val any_sat : node -> (int * bool) list option
+(** Engine counters: nodes allocated, unique-table and computed-table
+    hit rates.  Reading them does not reset them. *)
+type stats = {
+  nodes : int;  (** nodes allocated (constants excluded) *)
+  unique_lookups : int;
+  unique_hits : int;
+  unique_hit_rate : float;
+  cache_lookups : int;  (** computed-table probes = non-terminal op steps *)
+  cache_hits : int;
+  cache_hit_rate : float;
+}
 
-(** [sat_count ~n_vars n] counts models over [n_vars] variables
+val stats : manager -> stats
+
+(** [any_sat mgr n] returns a partial assignment — [(variable, value)]
+    pairs, increasing variable order — describing one satisfying path,
+    choosing the [false] branch whenever possible (the "all quiet" model
+    that gives state signals compact excitation regions).  [None] when
+    [n] is unsatisfiable.  Variables absent from the result are
+    don't-care. *)
+val any_sat : manager -> node -> (int * bool) list option
+
+(** [sat_count mgr ~n_vars n] counts models over [n_vars] variables
     (float to tolerate > 2^62). *)
-val sat_count : n_vars:int -> node -> float
+val sat_count : manager -> n_vars:int -> node -> float
 
-(** [eval n assignment] evaluates [n] ([assignment.(v)] = value of [v];
-    indices past the array are [false]). *)
-val eval : node -> bool array -> bool
+(** [eval mgr n assignment] evaluates [n] ([assignment.(v)] = value of
+    [v]; indices past the array are [false]). *)
+val eval : manager -> node -> bool array -> bool
 
-(** [eval_bits n code] evaluates [n] over a bit-packed assignment (bit
-    [v] of [code] = value of variable [v]), matching the state codes of
-    the state-graph layer. *)
-val eval_bits : node -> int -> bool
+(** [eval_bits mgr n code] evaluates [n] over a bit-packed assignment
+    (bit [v] of [code] = value of variable [v]), matching the state
+    codes of the state-graph layer. *)
+val eval_bits : manager -> node -> int -> bool

@@ -18,3 +18,8 @@ type result =
 (** [solve ?node_limit cnf] decides [cnf].
     @param node_limit manager-size cap (default 300_000 nodes). *)
 val solve : ?node_limit:int -> Cnf.t -> result
+
+(** [solve_with_stats ?node_limit cnf] additionally returns the engine
+    counters of the manager that built the product — the
+    [solver_bdd_ops] source for the bench trajectory. *)
+val solve_with_stats : ?node_limit:int -> Cnf.t -> result * Bdd.stats

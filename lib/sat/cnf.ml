@@ -5,10 +5,18 @@ type t = {
   mutable rev_clauses : lit array list;
   mutable n_clauses : int;
   mutable empty_clause : bool;
+  seen : (lit array, unit) Hashtbl.t;
+      (* canonical (sorted, deduplicated) clauses already present *)
 }
 
 let create () =
-  { n_vars = 0; rev_clauses = []; n_clauses = 0; empty_clause = false }
+  {
+    n_vars = 0;
+    rev_clauses = [];
+    n_clauses = 0;
+    empty_clause = false;
+    seen = Hashtbl.create 64;
+  }
 
 let fresh_var f =
   f.n_vars <- f.n_vars + 1;
@@ -35,9 +43,14 @@ let add_clause f lits =
     among lits
   in
   if not tautology then begin
-    if lits = [] then f.empty_clause <- true;
-    f.rev_clauses <- Array.of_list lits :: f.rev_clauses;
-    f.n_clauses <- f.n_clauses + 1
+    let clause = Array.of_list lits in
+    (* the canonical form makes duplicates structural: drop them *)
+    if not (Hashtbl.mem f.seen clause) then begin
+      Hashtbl.add f.seen clause ();
+      if lits = [] then f.empty_clause <- true;
+      f.rev_clauses <- clause :: f.rev_clauses;
+      f.n_clauses <- f.n_clauses + 1
+    end
   end
 
 let add_exactly_one f lits =

@@ -3,7 +3,8 @@
     Variables are positive integers [1..n]; a literal is a non-zero
     integer whose sign is its polarity (DIMACS convention).  Formulas are
     built incrementally; clause simplification (duplicate literals,
-    tautologies) happens at insertion. *)
+    tautologies, and whole-clause duplicates — detected structurally on
+    the canonical sorted form) happens at insertion. *)
 
 type lit = int
 type t
@@ -18,7 +19,8 @@ val fresh_var : t -> int
 val fresh_vars : t -> int -> int
 
 (** [add_clause f lits] adds a clause.  Duplicate literals are removed; a
-    tautological clause (containing [l] and [-l]) is dropped.  Adding the
+    tautological clause (containing [l] and [-l]) is dropped, as is a
+    clause whose canonical form is already in the formula.  Adding the
     empty clause marks the formula trivially unsatisfiable.
     Raises [Invalid_argument] on a literal whose variable was never
     allocated. *)

@@ -1,10 +1,19 @@
-(** A DPLL satisfiability solver with chronological backtracking.
+(** A CDCL satisfiability solver (with the original DPLL as oracle).
 
-    This plays the role of the branch-and-bound SAT program the paper
-    takes from SIS (Stephan–Brayton–Sangiovanni-Vincentelli): depth-first
-    search with unit propagation, a static Jeroslow–Wang branching order,
-    phase saving, and a configurable {e backtrack limit} — Table 1's
-    "SAT Backtrack Limit" aborts are reproduced by hitting that limit. *)
+    {!solve} is conflict-driven clause learning in the MiniSat lineage:
+    two-watched-literal unit propagation (each assignment touches only
+    the clauses watching the falsified literal, not the whole database),
+    first-UIP conflict analysis with learned clauses, VSIDS-style
+    activity decay seeded with Jeroslow-Wang scores, phase saving, and
+    Luby restarts.  It is fully deterministic — no randomization — so a
+    formula always yields the same model and statistics.
+
+    {!solve_basic} is the original counter-based DPLL with chronological
+    backtracking, kept as the differential-testing oracle and as the
+    "before" side of the E12 microbenchmarks.  Both reproduce the
+    paper's branch-and-bound budget semantics: Table 1's "SAT Backtrack
+    Limit" aborts come from [backtrack_limit] (counting conflict-driven
+    backjumps in CDCL, chronological flips in DPLL). *)
 
 type abort_reason = Backtrack_limit | Time_limit
 
@@ -18,18 +27,25 @@ type stats = {
   decisions : int;
   propagations : int;
   conflicts : int;
-  backtracks : int;
+  backtracks : int;  (** conflict-driven backjumps (CDCL) / flips (DPLL) *)
+  restarts : int;  (** always 0 for {!solve_basic} *)
+  learned : int;  (** learned clauses; always 0 for {!solve_basic} *)
   elapsed : float;  (** seconds of CPU time *)
 }
 
-(** [solve ?backtrack_limit ?time_limit f] decides [f].
-    @param backtrack_limit abort after this many backtracks (default: none)
+(** [solve ?backtrack_limit ?time_limit f] decides [f] with CDCL.
+    @param backtrack_limit abort after this many backjumps (default: none)
     @param time_limit abort after this many CPU seconds (default: none) *)
 val solve :
   ?backtrack_limit:int -> ?time_limit:float -> Cnf.t -> result * stats
 
-(** [satisfiable f] is a convenience wrapper returning [Some model] /
-    [None]; aborts raise [Failure]. *)
+(** [solve_basic ?backtrack_limit ?time_limit f] decides [f] with the
+    original chronological DPLL.  Same budget semantics as {!solve}. *)
+val solve_basic :
+  ?backtrack_limit:int -> ?time_limit:float -> Cnf.t -> result * stats
+
+(** [satisfiable f] is a convenience wrapper around {!solve} returning
+    [Some model] / [None]; aborts raise [Failure]. *)
 val satisfiable : Cnf.t -> bool array option
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -16,43 +16,60 @@ let ( <=> ) a b = Iff (a, b)
 let not_ f = Not f
 
 (* Returns a literal equivalent to the sub-formula, adding defining
-   clauses for the auxiliary variables. *)
-let rec literal cnf f =
-  match f with
-  | Var v ->
-    if v <= 0 || v > Cnf.n_vars cnf then
-      invalid_arg (Printf.sprintf "Tseitin: variable %d not allocated" v);
-    v
-  | Const b ->
-    (* a fresh variable pinned to the constant *)
-    let x = Cnf.fresh_var cnf in
-    Cnf.add_clause cnf [ (if b then x else -x) ];
-    x
-  | Not g -> -literal cnf g
-  | And gs ->
-    let ls = List.map (literal cnf) gs in
-    let x = Cnf.fresh_var cnf in
-    List.iter (fun l -> Cnf.add_clause cnf [ -x; l ]) ls;
-    Cnf.add_clause cnf (x :: List.map Int.neg ls);
-    x
-  | Or gs ->
-    let ls = List.map (literal cnf) gs in
-    let x = Cnf.fresh_var cnf in
-    List.iter (fun l -> Cnf.add_clause cnf [ x; -l ]) ls;
-    Cnf.add_clause cnf (-x :: ls);
-    x
-  | Xor (a, b) ->
-    let la = literal cnf a and lb = literal cnf b in
-    let x = Cnf.fresh_var cnf in
-    Cnf.add_clause cnf [ -x; la; lb ];
-    Cnf.add_clause cnf [ -x; -la; -lb ];
-    Cnf.add_clause cnf [ x; la; -lb ];
-    Cnf.add_clause cnf [ x; -la; lb ];
-    x
-  | Imp (a, b) -> literal cnf (Or [ Not a; b ])
-  | Iff (a, b) -> -literal cnf (Xor (a, b))
+   clauses for the auxiliary variables.  Structurally equal subformulas
+   share one auxiliary (memoized per top-level call), so a DAG-shaped
+   formula does not re-clausify its repeated subtrees; whole-clause
+   deduplication in [Cnf] then drops any repeated defining clauses. *)
+let literal_memo memo cnf f =
+  let rec literal f =
+    match f with
+    | Var v ->
+      if v <= 0 || v > Cnf.n_vars cnf then
+        invalid_arg (Printf.sprintf "Tseitin: variable %d not allocated" v);
+      v
+    | Not g -> -literal g
+    | Const _ | And _ | Or _ | Xor _ | Imp _ | Iff _ -> (
+      match Hashtbl.find_opt memo f with
+      | Some l -> l
+      | None ->
+        let l = define f in
+        Hashtbl.add memo f l;
+        l)
+  and define f =
+    match f with
+    | Var _ | Not _ -> assert false (* handled above *)
+    | Const b ->
+      (* a fresh variable pinned to the constant *)
+      let x = Cnf.fresh_var cnf in
+      Cnf.add_clause cnf [ (if b then x else -x) ];
+      x
+    | And gs ->
+      let ls = List.map literal gs in
+      let x = Cnf.fresh_var cnf in
+      List.iter (fun l -> Cnf.add_clause cnf [ -x; l ]) ls;
+      Cnf.add_clause cnf (x :: List.map Int.neg ls);
+      x
+    | Or gs ->
+      let ls = List.map literal gs in
+      let x = Cnf.fresh_var cnf in
+      List.iter (fun l -> Cnf.add_clause cnf [ x; -l ]) ls;
+      Cnf.add_clause cnf (-x :: ls);
+      x
+    | Xor (a, b) ->
+      let la = literal a and lb = literal b in
+      let x = Cnf.fresh_var cnf in
+      Cnf.add_clause cnf [ -x; la; lb ];
+      Cnf.add_clause cnf [ -x; -la; -lb ];
+      Cnf.add_clause cnf [ x; la; -lb ];
+      Cnf.add_clause cnf [ x; -la; lb ];
+      x
+    | Imp (a, b) -> literal (Or [ Not a; b ])
+    | Iff (a, b) -> -literal (Xor (a, b))
+  in
+  literal f
 
 let assert_formula cnf f =
+  let memo = Hashtbl.create 64 in
   (* clausify top-level conjunction directly: fewer auxiliaries *)
   let rec top f =
     match f with
@@ -68,7 +85,7 @@ let assert_formula cnf f =
              | Not (Var v) -> -v
              | _ -> assert false)
            gs)
-    | other -> Cnf.add_clause cnf [ literal cnf other ]
+    | other -> Cnf.add_clause cnf [ literal_memo memo cnf other ]
   in
   top f
 

@@ -6,7 +6,13 @@
     assignment and repeatedly repair a random unsatisfied clause, flipping
     either a random variable in it (noise) or the variable that breaks the
     fewest currently-satisfied clauses.  Incomplete: it can only prove
-    satisfiability, never unsatisfiability. *)
+    satisfiability, never unsatisfiability.
+
+    Break counts are maintained incrementally (through a per-clause
+    critical-variable index) rather than recomputed per flip; the
+    maintained counts equal the recomputation exactly, so a given seed
+    produces the same flip trajectory, model and statistics as the
+    historical re-scanning implementation. *)
 
 type stats = { flips : int; tries : int; elapsed : float }
 

@@ -44,14 +44,14 @@ let test_bdd_restrict_exists () =
 let test_bdd_any_sat () =
   let m = Bdd.manager () in
   let x = Bdd.var m 0 and y = Bdd.var m 1 in
-  (match Bdd.any_sat (Bdd.and_ m (Bdd.not_ m x) y) with
+  (match Bdd.any_sat m (Bdd.and_ m (Bdd.not_ m x) y) with
   | Some path ->
     check "x false" true (List.assoc 0 path = false);
     check "y true" true (List.assoc 1 path = true)
   | None -> Alcotest.fail "satisfiable");
-  check "unsat none" true (Bdd.any_sat Bdd.bdd_false = None);
+  check "unsat none" true (Bdd.any_sat m Bdd.bdd_false = None);
   (* prefers the all-false corner *)
-  match Bdd.any_sat (Bdd.or_ m x (Bdd.not_ m y)) with
+  match Bdd.any_sat m (Bdd.or_ m x (Bdd.not_ m y)) with
   | Some path -> check "quiet model" true (List.for_all (fun (_, b) -> not b) path)
   | None -> Alcotest.fail "satisfiable"
 
@@ -59,9 +59,9 @@ let test_bdd_sat_count () =
   let m = Bdd.manager () in
   let x = Bdd.var m 0 and y = Bdd.var m 1 in
   let xor = Bdd.xor m x y in
-  Alcotest.(check (float 0.001)) "xor has 2 models" 2.0 (Bdd.sat_count ~n_vars:2 xor);
+  Alcotest.(check (float 0.001)) "xor has 2 models" 2.0 (Bdd.sat_count m ~n_vars:2 xor);
   Alcotest.(check (float 0.001)) "true has 8 models over 3 vars" 8.0
-    (Bdd.sat_count ~n_vars:3 Bdd.bdd_true)
+    (Bdd.sat_count m ~n_vars:3 Bdd.bdd_true)
 
 (* property: BDD of a random CNF agrees with brute-force evaluation *)
 let gen_cnf =
@@ -115,7 +115,7 @@ let prop_bdd_semantics =
         for v = 1 to nv do
           assignment.(v) <- bits land (1 lsl (v - 1)) <> 0
         done;
-        if Bdd.eval product assignment <> Cnf.eval f assignment then ok := false
+        if Bdd.eval m product assignment <> Cnf.eval f assignment then ok := false
       done;
       !ok)
 

@@ -227,6 +227,23 @@ let test_tseitin_xor_iff () =
   Tseitin.(assert_formula f (var a <=> var b));
   check "xor and iff conflict" true (Dpll.satisfiable f = None)
 
+(* Encode-time sharing: a subformula that occurs twice is clausified
+   once (its definitional literal is memoized) and the repeated unit
+   clause on that literal is dropped by whole-clause deduplication, so
+   the second occurrence is free — not double the clauses. *)
+let test_tseitin_shared_subformula () =
+  let clause_count phi =
+    let f = Cnf.create () in
+    ignore (Cnf.fresh_vars f 4);
+    Tseitin.assert_formula f phi;
+    Cnf.n_clauses f
+  in
+  let big = Tseitin.(Iff (Xor (var 1, var 2), Or [ var 3; var 4 ])) in
+  let once = clause_count (Tseitin.And [ big ]) in
+  let twice = clause_count (Tseitin.And [ big; big ]) in
+  check "sharing beats re-clausifying" true (twice < 2 * once);
+  check_int "second occurrence is free" once twice
+
 let test_tseitin_unallocated () =
   let f = Cnf.create () in
   check "raises" true
@@ -321,6 +338,8 @@ let () =
         [
           Alcotest.test_case "simple" `Quick test_tseitin_simple;
           Alcotest.test_case "xor/iff" `Quick test_tseitin_xor_iff;
+          Alcotest.test_case "shared subformula" `Quick
+            test_tseitin_shared_subformula;
           Alcotest.test_case "unallocated" `Quick test_tseitin_unallocated;
         ] );
       ( "walksat",

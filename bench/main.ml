@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- cache           cold vs warm cache (E10)
      dune exec bench/main.exe -- prefix          prefix vs explicit graph (E11)
      dune exec bench/main.exe -- solver          solver-core micro (E12)
+     dune exec bench/main.exe -- partition       plan audit + dedup (E13)
      dune exec bench/main.exe -- micro           Bechamel component benches
      dune exec bench/main.exe -- json [NAME..]   write BENCH_results.json
      dune exec bench/main.exe -- check F B       compare fresh F vs baseline B
@@ -268,7 +269,25 @@ type trajectory_row = {
   t_solver_props : int; (* CDCL propagations on the direct CSC encoding *)
   t_solver_conflicts : int; (* CDCL conflicts on the direct CSC encoding *)
   t_solver_time : float; (* wall seconds, CDCL + BDD backend on the encoding *)
+  t_partition_dup : int; (* duplicate-cone twins the plan found (M3) *)
+  t_partition_saved : int; (* solver calls the dedup replay saved *)
+  t_partition_time : float; (* wall seconds, Mpart.partition_summary *)
 }
+
+(* Twins: cones the dedup replay can serve from an earlier solve — one
+   per duplicate-group member beyond the first. *)
+let plan_dup (plan : Partition_check.summary) =
+  List.fold_left
+    (fun acc (g : Partition_check.dup_group) ->
+      acc + List.length g.Partition_check.dg_outputs - 1)
+    0 plan.Partition_check.p_duplicates
+
+(* Solver invocations of one sequential synthesis run, measured through
+   the process-wide counter (jobs = 1 keeps other domains quiet). *)
+let solver_calls_of config stg =
+  let before = Solver_calls.total () in
+  let r = Mpart.synthesize ~config:{ config with Mpart.jobs = 1 } stg in
+  (r, Solver_calls.total () - before)
 
 (* The static H1-H5 pass and the dynamic product exploration it can
    replace, each wall-clocked on the synthesized netlist — the
@@ -343,6 +362,16 @@ let measure ~par name stg =
         let _, bst = Bdd_solver.solve_with_stats enc.Csc_encode.cnf in
         (st.Dpll.propagations, st.Dpll.conflicts, bst.Bdd.cache_lookups))
   in
+  (* the partition columns: plan cost, how many twins the audit found,
+     and the solver calls the dedup replay actually saved — measured by
+     differencing the counter over a dedup-off and a dedup-on run *)
+  let plan, t_partition_time =
+    wall (fun () -> Mpart.partition_summary Mpart.default_config stg)
+  in
+  let _, calls_fresh =
+    solver_calls_of { Mpart.default_config with dedup_cones = false } stg
+  in
+  let _, calls_dedup = solver_calls_of Mpart.default_config stg in
   {
     t_name = name;
     t_states = Mpart.final_states rp;
@@ -367,6 +396,9 @@ let measure ~par name stg =
     t_solver_props = solver_props;
     t_solver_conflicts = solver_conflicts;
     t_solver_time;
+    t_partition_dup = plan_dup plan;
+    t_partition_saved = calls_fresh - calls_dedup;
+    t_partition_time;
   }
 
 let speedup row = if row.t_par > 0.0 then row.t_seq /. row.t_par else 1.0
@@ -414,13 +446,14 @@ let write_trajectory path ~par rows =
   List.iteri
     (fun i row ->
       Printf.fprintf oc
-        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b,\"prefix_events\":%d,\"prefix_time\":%.6f,\"prefix_agree\":%b,\"solver_bdd_ops\":%d,\"solver_props\":%d,\"solver_conflicts\":%d,\"solver_time\":%.6f}%s\n"
+        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b,\"prefix_events\":%d,\"prefix_time\":%.6f,\"prefix_agree\":%b,\"solver_bdd_ops\":%d,\"solver_props\":%d,\"solver_conflicts\":%d,\"solver_time\":%.6f,\"partition_dup\":%d,\"partition_saved\":%d,\"partition_time\":%.6f}%s\n"
         row.t_name row.t_states row.t_area row.t_seq row.t_par (speedup row)
         row.t_identical row.t_hazard_verdict row.t_hazard row.t_dynamic
         row.t_bdd_nodes row.t_cache_cold row.t_cache_warm (cache_speedup row)
         row.t_cache_hits row.t_cache_identical row.t_prefix_events
         row.t_prefix_time row.t_prefix_agree row.t_solver_bdd_ops
         row.t_solver_props row.t_solver_conflicts row.t_solver_time
+        row.t_partition_dup row.t_partition_saved row.t_partition_time
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -489,6 +522,8 @@ type traj_row = {
   j_solver_props : int option;
   j_solver_conflicts : int option;
   j_solver_time : float option;
+  j_partition_saved : int option; (* absent in pre-partition baselines *)
+  j_partition_time : float option;
 }
 
 let read_trajectory path =
@@ -528,6 +563,10 @@ let read_trajectory path =
                Option.bind (field_raw line "solver_conflicts") int_of_string_opt;
              j_solver_time =
                Option.bind (field_raw line "solver_time") float_of_string_opt;
+             j_partition_saved =
+               Option.bind (field_raw line "partition_saved") int_of_string_opt;
+             j_partition_time =
+               Option.bind (field_raw line "partition_time") float_of_string_opt;
            }
            :: !rows
      done
@@ -621,6 +660,26 @@ let check fresh_path base_path =
           incr failures;
           Printf.printf
             "%-16s FAIL: solver backends %.3fs vs baseline %.3fs (> %.1fx)\n"
+            b.j_name ft bt regression_factor
+        | _ -> ());
+        (* dedup savings are deterministic (the plan and the replay are
+           pure functions of the specification), so saving fewer solver
+           calls than the baseline means the duplicate detection or the
+           replay path regressed — that gates exactly *)
+        (match (b.j_partition_saved, f.j_partition_saved) with
+        | Some bn, Some fn when fn < bn ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: dedup saves %d solver call(s) vs baseline %d\n"
+            b.j_name fn bn
+        | _ -> ());
+        (* plan-audit wall time gates with the usual factor and floor *)
+        (match (b.j_partition_time, f.j_partition_time) with
+        | Some bt, Some ft
+          when ft > (regression_factor *. bt) && ft > regression_floor ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: partition audit %.3fs vs baseline %.3fs (> %.1fx)\n"
             b.j_name ft bt regression_factor
         | _ -> ());
         (* hazard-analysis wall time gates like synthesis wall time,
@@ -1197,6 +1256,76 @@ let modules () =
        Bench_suite.all)
 
 (* ------------------------------------------------------------------ *)
+(* E13: partition plan audit — dedup savings and risk ordering         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per benchmark: the plan audit's cost and findings, the solver calls
+   the duplicate-cone replay saves (counter-differenced, not trusted
+   from a flag), and the stale-analysis count with and without the M4
+   ascending-risk solve order.  Gates on three hard facts: the audit
+   finds no M1/M5 violation on the shipped suite, every benchmark with
+   twins saves at least one solver call, and every run verifies. *)
+let partition_table () =
+  print_endline
+    "== E13: partition plan — M-rule audit, cone dedup, M4 solve order ==";
+  Printf.printf "%-16s %7s %5s %5s %8s | %6s %6s %6s | %7s %7s\n" "STG"
+    "outputs" "dups" "risk" "plan(s)" "fresh" "dedup" "saved" "stale+"
+    "stale-";
+  let failures = ref 0 in
+  List.iter
+    (fun (e : Bench_suite.entry) ->
+      let stg = e.Bench_suite.build () in
+      let plan, t_plan =
+        wall (fun () -> Mpart.partition_summary Mpart.default_config stg)
+      in
+      if plan.Partition_check.p_violations <> [] then begin
+        incr failures;
+        Printf.printf "%-16s FAIL: %d M1/M5 violation(s) in the plan\n"
+          e.Bench_suite.name
+          (List.length plan.Partition_check.p_violations)
+      end;
+      let r_fresh, calls_fresh =
+        solver_calls_of { Mpart.default_config with dedup_cones = false } stg
+      in
+      let r_dedup, calls_dedup = solver_calls_of Mpart.default_config stg in
+      let r_unordered, _ =
+        solver_calls_of { Mpart.default_config with order_by_risk = false } stg
+      in
+      List.iter
+        (fun (what, r) ->
+          match Mpart.verify r with
+          | None -> ()
+          | Some err ->
+            incr failures;
+            Printf.printf "%-16s FAIL: %s run does not verify: %s\n"
+              e.Bench_suite.name what err)
+        [ ("fresh", r_fresh); ("dedup", r_dedup); ("unordered", r_unordered) ];
+      let dups = plan_dup plan in
+      let saved = calls_fresh - calls_dedup in
+      if dups > 0 && saved <= 0 && calls_fresh > 0 then begin
+        incr failures;
+        Printf.printf "%-16s FAIL: %d twin(s) but no solver call saved\n"
+          e.Bench_suite.name dups
+      end;
+      Printf.printf "%-16s %7d %5d %5d %7.3fs | %6d %6d %6d | %7d %7d\n%!"
+        e.Bench_suite.name
+        (List.length plan.Partition_check.p_cones)
+        dups
+        (List.length plan.Partition_check.p_risky)
+        t_plan calls_fresh calls_dedup saved r_dedup.Mpart.stale_analyses
+        r_unordered.Mpart.stale_analyses)
+    Bench_suite.all;
+  if !failures = 0 then begin
+    print_endline
+      "E13 ok: plans audit clean, twins dedup, every configuration verifies";
+    0
+  end
+  else begin
+    Printf.printf "E13 FAIL: %d failure(s)\n" !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1332,6 +1461,7 @@ let () =
   | "cache" -> exit (cache_table ())
   | "prefix" -> exit (prefix_table ())
   | "solver" -> exit (solver_table ())
+  | "partition" -> exit (partition_table ())
   | "micro" -> micro ()
   | "ablation" -> ablation ()
   | "json" -> exit (json rest)
@@ -1360,12 +1490,15 @@ let () =
     print_newline ();
     ignore (solver_table () : int);
     print_newline ();
+    ignore (partition_table () : int);
+    print_newline ();
     ablation ();
     print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown bench %s (expected table1|clauses|scaling|scaling-methods|\
-       modules|hazard|cache|prefix|solver|ablation|micro|json|check|all)\n"
+       modules|hazard|cache|prefix|solver|partition|ablation|micro|json|\
+       check|all)\n"
       other;
     exit 2

@@ -33,9 +33,12 @@ let exits =
     Cmd.Exit.info exit_lint
       ~doc:
         "when static analysis rejects the specification: structural lint \
-         errors, and with $(b,--prefix) also exact partial-order \
-         refutations (U1 unsafeness, U2 autoconcurrency) carrying a \
-         replayable firing sequence; with $(b,--strict), warnings too.";
+         errors, with $(b,--prefix) also exact partial-order refutations \
+         (U1 unsafeness, U2 autoconcurrency) carrying a replayable firing \
+         sequence, and with $(b,--partition) also partition-plan \
+         refutations (M1 non-closed input sets, M5 inconsistent quotients) \
+         carrying the witnessing signal chain; with $(b,--strict), \
+         warnings too.";
     Cmd.Exit.info exit_verification
       ~doc:"when verification of a synthesized circuit fails.";
     Cmd.Exit.info exit_refuted
@@ -235,9 +238,42 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "prefix" ] ~doc)
   in
-  let run names json strict netlist hazard prefix jobs_opt cache_opt =
+  let partition_arg =
+    let doc =
+      "Additionally audit the modular partition plan with the static M \
+       rules: M1 input-set closure (independently re-derived triggers), \
+       M2 degenerate-module forecast, M3 exact duplicate cones via a \
+       canonical cone digest, M4 propagation-conflict risk (discounted \
+       by the lock relation), and M5 quotient consistency.  Findings \
+       merge into the same mpsyn-lint/1 report; M1/M5 refutations exit \
+       $(b,3)."
+    in
+    Arg.(value & flag & info [ "partition" ] ~doc)
+  in
+  let degenerate_arg =
+    let doc =
+      "M2 threshold: warn when a conflicted module's cone covers at \
+       least this fraction of all signals (used with $(b,--partition))."
+    in
+    Arg.(
+      value
+      & opt float 0.9
+      & info [ "degenerate-threshold" ] ~docv:"FRAC" ~doc)
+  in
+  let plan_arg =
+    let doc =
+      "Write the machine-readable partition plan (schema mpsyn-plan/1: \
+       per-cone stats and digests, duplicate groups, overlap matrix, \
+       solve order, violations) to $(docv); one JSON document per input, \
+       several inputs become a JSON array.  Implies $(b,--partition)."
+    in
+    Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let run names json strict netlist hazard prefix partition degenerate plan
+      jobs_opt cache_opt =
     let jobs = resolve_jobs jobs_opt in
     let cache = resolve_cache cache_opt in
+    let partition = partition || plan <> None in
     if hazard && not netlist then begin
       Printf.eprintf "mpsyn lint: --hazard requires --netlist\n";
       exit exit_usage
@@ -270,7 +306,26 @@ let lint_cmd =
             if prefix then Some (Mpart.prefix_summary ~jobs:1 config stg)
             else None
           in
+          (* likewise one partition plan per specification, shared (via
+             the cache) with any later synthesis of the same .g text *)
+          let plan_summary =
+            if partition then Some (Mpart.partition_summary ~jobs:1 config stg)
+            else None
+          in
           let { Lint.report; _ } = Lint.run ?map ?prefix:psum stg in
+          let report =
+            match plan_summary with
+            | None -> report
+            | Some s ->
+              let target = report.Diagnostic.target in
+              Diagnostic.merge ~target
+                [
+                  report;
+                  Diagnostic.report ~target
+                    (Lint.partition ?map ~degenerate_threshold:degenerate stg
+                       s);
+                ]
+          in
           let netrep =
             if netlist && Diagnostic.clean report then begin
               match Mpart.synthesize_best ~config stg with
@@ -308,11 +363,11 @@ let lint_cmd =
             end
             else None
           in
-          (name, report, netrep))
+          (name, report, plan_summary, netrep))
         specs
     in
     List.iter
-      (fun (name, report, netrep) ->
+      (fun (name, report, _, netrep) ->
         consume report;
         match netrep with
         | None -> ()
@@ -331,6 +386,23 @@ let lint_cmd =
       | [ one ] -> print_endline one
       | many -> Printf.printf "[%s]\n" (String.concat "," many)
     end;
+    (match plan with
+    | None -> ()
+    | Some file ->
+      let docs =
+        List.filter_map
+          (fun (_, _, s, _) -> Option.map Partition_check.to_json s)
+          results
+      in
+      let text =
+        match docs with
+        | [ one ] -> one
+        | many -> Printf.sprintf "[%s]" (String.concat "," many)
+      in
+      let oc = open_out file in
+      output_string oc text;
+      output_char oc '\n';
+      close_out oc);
     report_cache cache;
     if !refuted then exit_refuted else if !rejected then exit_lint else 0
   in
@@ -339,10 +411,12 @@ let lint_cmd =
        ~doc:
          "Statically analyze an STG (and optionally its synthesized \
           netlist) without explicit state exploration; $(b,--prefix) adds \
-          the exact partial-order rules U1-U4")
+          the exact partial-order rules U1-U4, $(b,--partition) the \
+          partition-plan rules M1-M5")
     Term.(
       const run $ stgs_arg $ json_arg $ strict_arg $ netlist_arg $ hazard_arg
-      $ prefix_arg $ jobs_arg $ cache_arg)
+      $ prefix_arg $ partition_arg $ degenerate_arg $ plan_arg $ jobs_arg
+      $ cache_arg)
 
 let info_cmd =
   let run stg_name =

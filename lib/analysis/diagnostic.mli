@@ -80,11 +80,14 @@ val pp : Format.formatter -> report -> unit
 (** The version tag stamped on every JSON report, ["mpsyn-lint/1"].
 
     Every finding rides in this one report, whatever engine produced
-    it: the structural A-rules, the netlist hazard H-rules, and the
-    partial-order prefix U-rules ([mpsyn lint --prefix]) all emit
+    it: the structural A-rules, the netlist hazard H-rules, the
+    partial-order prefix U-rules ([mpsyn lint --prefix]), and the
+    partition-plan M-rules ([mpsyn lint --partition]) all emit
     {!t} values and merge here — consumers never parse a second
     diagnostic schema.  (The unfolding engine's standalone certificate,
-    ["mpsyn-prefix/1"], is a proof artifact, not a diagnostic stream.) *)
+    ["mpsyn-prefix/1"], and the partition auditor's standalone plan,
+    ["mpsyn-plan/1"] ([mpsyn lint --plan FILE], {!Partition_check}),
+    are machine-checkable artifacts, not diagnostic streams.) *)
 val schema : string
 
 (** [to_json r] renders the report as a JSON object with a [schema]

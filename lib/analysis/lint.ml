@@ -54,6 +54,29 @@ let run ?map ?prefix stg =
   in
   { report; cert }
 
+let partition ?map ?degenerate_threshold ?min_signals stg summary =
+  let loc =
+    match map with
+    | Some m -> Diagnostic.of_source_map m
+    | None -> Diagnostic.no_loc
+  in
+  let pinvs =
+    try Some (Invariants.p_invariants (Stg.net stg))
+    with Invariants.Too_many _ -> None
+  in
+  let locked =
+    match pinvs with
+    | None -> None
+    | Some pinvs ->
+      Some
+        (fun a b ->
+          match (Stg.find_signal stg a, Stg.find_signal stg b) with
+          | sa, sb -> Lockrel.locked stg ~pinvs sa sb
+          | exception Not_found -> false)
+  in
+  Partition_check.diagnostics ?degenerate_threshold ?min_signals ?locked ~loc
+    summary
+
 let run_netlist nl =
   Diagnostic.report ~target:nl.Netlist.name
     (Netlint.check ~loc:Diagnostic.no_loc nl)

@@ -1,11 +1,11 @@
-(** Content-addressed, on-disk memoization store (schema [mpsyn-cache/1]).
+(** Content-addressed, on-disk memoization store (schema [mpsyn-cache/2]).
 
-    One entry per file under [DIR/1/] (the subdirectory is the schema
+    One entry per file under [DIR/2/] (the subdirectory is the schema
     major version: bumping {!schema_version} orphans every old entry at
     once — explicit wholesale invalidation).  An entry is:
 
     {v
-    mpsyn-cache/1\n
+    mpsyn-cache/2\n
     <md5 hex of payload>\n
     <payload: Marshal bytes>
     v}
@@ -31,7 +31,9 @@
 type t
 
 val schema_version : string
-(** ["mpsyn-cache/1"]. *)
+(** ["mpsyn-cache/2"].  v1 → v2: whole-synthesis entries now carry the
+    audited partition plan ({!Mpart.result} gained fields), changing
+    their marshal layout — the bump orphans every v1 entry at once. *)
 
 val open_dir : ?max_bytes:int -> string -> t
 (** [open_dir dir] opens (creating directories as needed) the store

@@ -14,6 +14,8 @@ type config = {
   prefix_prescreen : bool;
   prefix_max_events : int;
   bdd_threshold : int;
+  dedup_cones : bool;
+  order_by_risk : bool;
   jobs : int;
   cache : Cache_store.t option;
 }
@@ -31,6 +33,8 @@ let default_config =
     prefix_prescreen = true;
     prefix_max_events = 2048;
     bdd_threshold = 2048;
+    dedup_cones = true;
+    order_by_risk = true;
     jobs = Pool.default_jobs ();
     cache = None;
   }
@@ -54,6 +58,8 @@ let fingerprint config =
     ("prefix_prescreen", string_of_bool config.prefix_prescreen);
     ("prefix_max_events", string_of_int config.prefix_max_events);
     ("bdd_threshold", string_of_int config.bdd_threshold);
+    ("dedup_cones", string_of_bool config.dedup_cones);
+    ("order_by_risk", string_of_bool config.order_by_risk);
     ("max_states", string_of_int config.max_states);
     ( "backtrack_limit",
       match config.backtrack_limit with
@@ -124,6 +130,9 @@ type result = {
   modules : module_report list;
   fallback : module_report option;
   csc_certified : bool;
+  plan : Partition_check.summary;
+  replayed : string list;
+  stale_analyses : int;
   elapsed : float;
 }
 
@@ -231,6 +240,19 @@ let module_report complete (inp : Input_derivation.t)
     sat_elapsed = (match sat with None -> 0.0 | Some s -> s.sol_elapsed);
   }
 
+(* A derived module, described for the partition auditor against the
+   complete graph it was cut from. *)
+let cone_of (inp : Input_derivation.t) conflicts =
+  {
+    Partition_check.c_output = inp.Input_derivation.output;
+    c_inputs = inp.Input_derivation.input_set;
+    c_immediate = inp.Input_derivation.immediate;
+    c_kept_extras = inp.Input_derivation.kept_extras;
+    c_module = inp.Input_derivation.module_sg;
+    c_cover = inp.Input_derivation.cover;
+    c_conflicts = conflicts;
+  }
+
 let synthesize_sg_uncached ~config ~csc_certified complete =
   let t0 = Sys.time () in
   let counter = ref 0 in
@@ -279,6 +301,43 @@ let synthesize_sg_uncached ~config ~csc_certified complete =
     in
     (o, inp, conflicts)
   in
+  (* The partition plan: every output analyzed once against the initial
+     complete graph (these analyses double as the first solve batch),
+     audited by the static M rules, and consumed below for duplicate-cone
+     dedup and risk-ordered solving. *)
+  let plan_analyses = Pool.map_list ~jobs:config.jobs (analyze complete) outputs in
+  let plan =
+    Partition_check.summarize ~complete
+      (List.map (fun (_, inp, conflicts) -> cone_of inp conflicts) plan_analyses)
+  in
+  (* M4: solve low-risk modules first — their insertions are the least
+     likely to land in states shared with other conflicted cones, so the
+     expensive re-analyses concentrate where they were inevitable. *)
+  let plan_analyses =
+    if not config.order_by_risk then plan_analyses
+    else begin
+      let rank = Hashtbl.create 8 in
+      List.iteri
+        (fun i n -> Hashtbl.replace rank n i)
+        plan.Partition_check.p_order;
+      let rank_of (o, _, _) =
+        Option.value
+          (Hashtbl.find_opt rank (Sg.signal_name complete o))
+          ~default:max_int
+      in
+      List.stable_sort (fun a b -> compare (rank_of a) (rank_of b)) plan_analyses
+    end
+  in
+  (* M3 consumption: canonicalized CSC solutions keyed by the cone
+     digest of the module they solved.  A later module with the same
+     digest is the same graph up to state renaming, so the stored
+     solution replays through the two renumberings — no second SAT
+     call. *)
+  let solutions : (string, Fourval.t array list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let replayed = ref [] in
+  let stale_analyses = ref 0 in
   (* Solve one analyzed module; returns [true] when the complete graph
      gained state signals (invalidating later analyses). *)
   let consume (o, inp, conflicts) =
@@ -286,11 +345,68 @@ let synthesize_sg_uncached ~config ~csc_certified complete =
         m "module %s: %d states, solving"
           (Sg.signal_name complete o)
           (Sg.n_states inp.Input_derivation.module_sg));
+    let solve_fresh ?digest_perm () =
+      let c, names, r = solve_module ~config ~fresh_name !current inp in
+      (match digest_perm with
+      | Some (digest, perm) when config.dedup_cones ->
+        let inv = Array.make (Array.length perm) 0 in
+        Array.iteri (fun t ci -> inv.(ci) <- t) perm;
+        let canon =
+          Array.to_list
+            (Array.map
+               (fun (x : Sg.extra) ->
+                 Array.init (Array.length perm) (fun ci ->
+                     x.Sg.values.(inv.(ci))))
+               r.sol_extras)
+        in
+        Hashtbl.replace solutions digest canon
+      | _ -> ());
+      (c, names, Some r)
+    in
     let updated, new_signals, sat =
       if conflicts = 0 then (!current, [], None)
       else begin
-        let c, names, r = solve_module ~config ~fresh_name !current inp in
-        (c, names, Some r)
+        let module_sg = inp.Input_derivation.module_sg in
+        let local_out =
+          Sg.find_signal module_sg (Sg.signal_name complete o)
+        in
+        let digest, perm =
+          Partition_check.canonical_form ~output:local_out module_sg
+        in
+        match
+          if config.dedup_cones then Hashtbl.find_opt solutions digest
+          else None
+        with
+        | None -> solve_fresh ~digest_perm:(digest, perm) ()
+        | Some canon -> (
+          match
+            let acc = ref !current in
+            let names = ref [] in
+            List.iter
+              (fun (vc : Fourval.t array) ->
+                let name = fresh_name () in
+                names := name :: !names;
+                let values =
+                  Array.init (Sg.n_states module_sg) (fun t -> vc.(perm.(t)))
+                in
+                acc :=
+                  Propagation.propagate !acc
+                    ~cover:inp.Input_derivation.cover ~name ~values)
+              canon;
+            (!acc, List.rev !names)
+          with
+          | updated, names ->
+            Log.debug (fun m ->
+                m "module %s: duplicate cone, replaying %d state signal(s)"
+                  (Sg.signal_name complete o)
+                  (List.length names));
+            replayed := Sg.signal_name complete o :: !replayed;
+            (updated, names, None)
+          | exception Sg.Inconsistent _ ->
+            (* Cannot happen for a true twin (the isomorphism transports
+               edge consistency), but a failed replay must degrade to a
+               normal solve, never to a wrong graph. *)
+            solve_fresh ())
       end
     in
     let changed = updated != !current in
@@ -318,6 +434,7 @@ let synthesize_sg_uncached ~config ~csc_certified complete =
     | [] -> ()
     | _ ->
       let batch, deferred = split_batch (max 1 config.jobs) pending in
+      stale_analyses := !stale_analyses + List.length batch;
       let analyzed = Pool.map_list ~jobs:config.jobs (analyze !current) batch in
       (* consume in order; on graph change the rest of the batch is stale *)
       let rec go = function
@@ -328,7 +445,17 @@ let synthesize_sg_uncached ~config ~csc_certified complete =
       let stale = go analyzed in
       run_batches (stale @ deferred)
   in
-  run_batches outputs;
+  (* First pass over the plan analyses (all computed against [complete],
+     which is exactly [!current] until the first mutation); once a solve
+     lands state signals, the not-yet-consumed outputs fall back to the
+     jobs-wide re-analysis batches. *)
+  let rec consume_plan = function
+    | [] -> []
+    | a :: rest ->
+      if consume a then List.map (fun (o, _, _) -> o) rest
+      else consume_plan rest
+  in
+  run_batches (consume_plan plan_analyses);
   (* Fallback: conflicts invisible to every module. *)
   let fallback = ref None in
   Log.debug (fun m ->
@@ -519,6 +646,9 @@ let synthesize_sg_uncached ~config ~csc_certified complete =
     modules = List.rev !reports;
     fallback = !fallback;
     csc_certified;
+    plan;
+    replayed = List.rev !replayed;
+    stale_analyses = !stale_analyses;
     elapsed = Sys.time () -. t0;
   }
 
@@ -581,6 +711,39 @@ let complete_of_stg config stg =
     ~params:[ ("max_states", string_of_int config.max_states) ]
     (Cache_key.stg_digest stg)
     (fun () -> Sg.of_stg ~max_states:config.max_states stg)
+
+(* The partition plan as a standalone artifact (`mpsyn lint
+   --partition`): every output's cone derived against the complete
+   graph, with real conflict counts (no certificate zeroing — the plan
+   describes the partition, not one synthesis run's shortcuts).  The
+   summary is plain data, deterministic for any pool width, and depends
+   only on the specification and the state cap, so it is memoized by
+   the STG digest alone. *)
+let partition_summary ?jobs config stg =
+  let jobs = match jobs with Some j -> j | None -> config.jobs in
+  memoize config ~stage:"plan"
+    ~params:[ ("max_states", string_of_int config.max_states) ]
+    (Cache_key.stg_digest stg)
+    (fun () ->
+      let complete = complete_of_stg config stg in
+      let outputs =
+        List.filter (Sg.non_input complete)
+          (List.init (Sg.n_signals complete) Fun.id)
+      in
+      let cones =
+        Pool.map_list ~jobs
+          (fun o ->
+            let inp = Input_derivation.determine complete ~output:o in
+            let conflicts =
+              Csc.n_output_conflicts inp.Input_derivation.module_sg
+                ~output:
+                  (Sg.find_signal inp.Input_derivation.module_sg
+                     (Sg.signal_name complete o))
+            in
+            cone_of inp conflicts)
+          outputs
+      in
+      Partition_check.summarize ~complete cones)
 
 let synthesize ?(config = default_config) stg =
   (* The top-level entry elides even the reachability exploration and

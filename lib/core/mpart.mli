@@ -51,6 +51,16 @@ type config = {
       (** U4 state bound at which {!synthesize_best} switches the
           default [`Sat] backend to [`Bdd]; an explicit backend choice
           is never overridden (default 2048) *)
+  dedup_cones : bool;
+      (** solve each distinct module cone once: when two outputs'
+          modules have the same canonical cone digest (rule M3 — the
+          same graph up to state renaming), the second replays the
+          first's CSC solution through the renumberings instead of
+          calling the solver again (default true) *)
+  order_by_risk : bool;
+      (** consume the solve loop in ascending M4 risk order: modules
+          whose cones overlap other conflicted cones go last, so their
+          insertions invalidate fewer pending analyses (default true) *)
   jobs : int;
       (** domain-pool width for the solver-independent stages: the
           {!synthesize_best} portfolio and the per-output
@@ -106,6 +116,15 @@ type result = {
   csc_certified : bool;
       (** the lock-relation prescreen proved CSC statically, so no
           module invoked a solver *)
+  plan : Partition_check.summary;
+      (** the audited partition plan the run consumed (conflict counts
+          are zero when [csc_certified]) *)
+  replayed : string list;
+      (** outputs whose module was a duplicate cone and reused an
+          earlier CSC solution instead of solving (dedup_cones) *)
+  stale_analyses : int;
+      (** module analyses recomputed because an earlier solve mutated
+          the complete graph — the M4 ordering tries to keep this low *)
   elapsed : float;
 }
 
@@ -131,6 +150,15 @@ val synthesize_sg : ?config:config -> ?csc_certified:bool -> Sg.t -> result
     for any pool width and carries no timings, so lint, synthesis and
     verification all share one cached prefix per specification. *)
 val prefix_summary : ?jobs:int -> config -> Stg.t -> Prefix_rules.summary
+
+(** [partition_summary ?jobs config stg] is the memoized partition plan
+    of [stg] ({!Partition_check.summarize} over every output's derived
+    cone, with real modular conflict counts — no certificate zeroing):
+    the audit behind [mpsyn lint --partition].  The summary is plain
+    deterministic data keyed by the canonical [.g] digest and the state
+    cap only, so any pool width and any lint/synth caller share one
+    cached plan per specification ([jobs] defaults to [config.jobs]). *)
+val partition_summary : ?jobs:int -> config -> Stg.t -> Partition_check.summary
 
 (** [certificate_source config stg] says which prescreen certified CSC:
     the structural A6 lock relation, the exact prefix rule U3 (tried

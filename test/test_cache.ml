@@ -51,8 +51,8 @@ let with_store ?max_bytes f =
     ~finally:(fun () -> remove_tree dir)
     (fun () -> f dir (Cache_store.open_dir ?max_bytes dir))
 
-(* The entry subdirectory is the schema major version ("1" for
-   mpsyn-cache/1) — derived here the same way the store derives it, so
+(* The entry subdirectory is the schema major version ("2" for
+   mpsyn-cache/2) — derived here the same way the store derives it, so
    the corruption tests can reach the files without new API surface. *)
 let entry_dir root =
   let v = Cache_store.schema_version in

@@ -159,6 +159,51 @@ let test_propagate_identity_cover () =
     (Sg.extras lifted).(0).Sg.values;
   check "resolves" true (Csc.csc_satisfied lifted)
 
+let test_propagate_constant_cover () =
+  (* the other degenerate case: a single-state module, so the cover is
+     constant and the lift assigns one value everywhere *)
+  let sg = Sg.of_stg (pulse_stg ()) in
+  let cover = Array.make (Sg.n_states sg) 0 in
+  let lifted = Propagation.propagate sg ~cover ~name:"n" ~values:[| Fourval.V1 |] in
+  check_int "one extra" 1 (Sg.n_extras lifted);
+  Array.iter
+    (fun v -> check "constant V1" true (Fourval.equal v Fourval.V1))
+    (Sg.extras lifted).(0).Sg.values;
+  (* a stable constant is edge-consistent but separates nothing *)
+  check_int "conflicts unchanged" (Csc.n_conflicts sg) (Csc.n_conflicts lifted)
+
+let test_propagate_merged_cover () =
+  (* hand-built merged-state cover: states 0 and 1 collapse into module
+     state 0, so the lift must read values.(cover.(m)) — expected array
+     written out by hand *)
+  let sg =
+    Sg.make ~name:"chain"
+      ~signals:
+        [|
+          { Sg.sname = "r"; non_input = false };
+          { Sg.sname = "x"; non_input = true };
+        |]
+      ~codes:[| 0b00; 0b01; 0b11; 0b10 |]
+      ~edges:
+        [
+          { Sg.src = 0; label = Sg.Ev (0, Sg.R); dst = 1 };
+          { Sg.src = 1; label = Sg.Ev (1, Sg.R); dst = 2 };
+          { Sg.src = 2; label = Sg.Ev (0, Sg.F); dst = 3 };
+        ]
+      ~initial:0
+  in
+  let cover = [| 0; 0; 1; 2 |] in
+  let values = [| Fourval.Up; Fourval.V1; Fourval.Dn |] in
+  let lifted = Propagation.propagate sg ~cover ~name:"n" ~values in
+  let expected = [| Fourval.Up; Fourval.Up; Fourval.V1; Fourval.Dn |] in
+  Array.iteri
+    (fun m v ->
+      check
+        (Printf.sprintf "state %d lifts to %s" m (Fourval.to_string expected.(m)))
+        true
+        (Fourval.equal v expected.(m)))
+    (Sg.extras lifted).(0).Sg.values
+
 let test_propagate_inconsistent () =
   (* edge-inconsistent lift must be rejected, not silently attached *)
   let sg = Sg.of_stg (pulse_stg ()) in
@@ -254,9 +299,17 @@ let test_reports_have_formulas () =
     List.filter (fun m -> m.Mpart.module_conflicts > 0) r.Mpart.modules
   in
   check "some module had conflicts" true (List.length with_conflicts >= 1);
+  (* at least one conflicted module actually went to the solver *)
+  check "formulas recorded" true
+    (List.exists
+       (fun m -> List.length m.Mpart.formulas >= 1)
+       with_conflicts);
   List.iter
     (fun m ->
-      check "formulas recorded" true (List.length m.Mpart.formulas >= 1))
+      (* the others must be duplicate cones replayed from that solve *)
+      check "solved or replayed" true
+        (List.length m.Mpart.formulas >= 1
+        || List.mem m.Mpart.output_name r.Mpart.replayed))
     with_conflicts
 
 let test_hazard_free_config () =
@@ -398,6 +451,10 @@ let () =
           Alcotest.test_case "lifts cover" `Quick test_propagate_lifts_cover;
           Alcotest.test_case "identity cover" `Quick
             test_propagate_identity_cover;
+          Alcotest.test_case "constant cover" `Quick
+            test_propagate_constant_cover;
+          Alcotest.test_case "merged-state cover" `Quick
+            test_propagate_merged_cover;
           Alcotest.test_case "inconsistent lift" `Quick
             test_propagate_inconsistent;
         ] );

@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- prefix          prefix vs explicit graph (E11)
      dune exec bench/main.exe -- solver          solver-core micro (E12)
      dune exec bench/main.exe -- partition       plan audit + dedup (E13)
+     dune exec bench/main.exe -- symbolic        BDD vs explicit reachability (E14)
      dune exec bench/main.exe -- micro           Bechamel component benches
      dune exec bench/main.exe -- json [NAME..]   write BENCH_results.json
      dune exec bench/main.exe -- check F B       compare fresh F vs baseline B
@@ -272,6 +273,10 @@ type trajectory_row = {
   t_partition_dup : int; (* duplicate-cone twins the plan found (M3) *)
   t_partition_saved : int; (* solver calls the dedup replay saved *)
   t_partition_time : float; (* wall seconds, Mpart.partition_summary *)
+  t_symbolic_time : float; (* wall seconds, Sg.of_stg on the BDD engine *)
+  t_symbolic_nodes : int; (* manager nodes live after the fixpoint *)
+  t_symbolic_agree : bool; (* symbolic Sg digest = explicit Sg digest *)
+  t_peak_live : int; (* Gc top_heap_words after this row's measurements *)
 }
 
 (* Twins: cones the dedup replay can serve from an earlier solve — one
@@ -372,6 +377,16 @@ let measure ~par name stg =
     solver_calls_of { Mpart.default_config with dedup_cones = false } stg
   in
   let _, calls_dedup = solver_calls_of Mpart.default_config stg in
+  (* the symbolic-engine columns: the BDD fixpoint must rebuild the
+     byte-identical state graph (digest gated absolutely by check), and
+     its wall time and node count travel with the trajectory so growth
+     gates as a regression; peak heap words close the row so a memory
+     blowup anywhere above also gates *)
+  let explicit_digest = Sg.digest (Sg.of_stg stg) in
+  let symbolic_digest, t_symbolic_time =
+    wall (fun () -> Sg.digest (Sg.of_stg ~backend:`Symbolic stg))
+  in
+  let _, sym_info = Symbolic.explore_edges_info (Stg.net stg) in
   {
     t_name = name;
     t_states = Mpart.final_states rp;
@@ -399,6 +414,10 @@ let measure ~par name stg =
     t_partition_dup = plan_dup plan;
     t_partition_saved = calls_fresh - calls_dedup;
     t_partition_time;
+    t_symbolic_time;
+    t_symbolic_nodes = sym_info.Symbolic.i_bdd_nodes;
+    t_symbolic_agree = symbolic_digest = explicit_digest;
+    t_peak_live = (Gc.quick_stat ()).Gc.top_heap_words;
   }
 
 let speedup row = if row.t_par > 0.0 then row.t_seq /. row.t_par else 1.0
@@ -446,7 +465,7 @@ let write_trajectory path ~par rows =
   List.iteri
     (fun i row ->
       Printf.fprintf oc
-        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b,\"prefix_events\":%d,\"prefix_time\":%.6f,\"prefix_agree\":%b,\"solver_bdd_ops\":%d,\"solver_props\":%d,\"solver_conflicts\":%d,\"solver_time\":%.6f,\"partition_dup\":%d,\"partition_saved\":%d,\"partition_time\":%.6f}%s\n"
+        "    {\"name\":%S,\"states\":%d,\"area\":%d,\"time_jobs1\":%.6f,\"time_parallel\":%.6f,\"speedup\":%.3f,\"identical\":%b,\"hazard\":%S,\"hazard_time\":%.6f,\"dynamic_time\":%.6f,\"bdd_nodes\":%d,\"cache_cold\":%.6f,\"cache_warm\":%.6f,\"cache_speedup\":%.3f,\"cache_hits\":%d,\"cache_identical\":%b,\"prefix_events\":%d,\"prefix_time\":%.6f,\"prefix_agree\":%b,\"solver_bdd_ops\":%d,\"solver_props\":%d,\"solver_conflicts\":%d,\"solver_time\":%.6f,\"partition_dup\":%d,\"partition_saved\":%d,\"partition_time\":%.6f,\"symbolic_time\":%.6f,\"symbolic_nodes\":%d,\"symbolic_agree\":%b,\"peak_live_words\":%d}%s\n"
         row.t_name row.t_states row.t_area row.t_seq row.t_par (speedup row)
         row.t_identical row.t_hazard_verdict row.t_hazard row.t_dynamic
         row.t_bdd_nodes row.t_cache_cold row.t_cache_warm (cache_speedup row)
@@ -454,6 +473,8 @@ let write_trajectory path ~par rows =
         row.t_prefix_time row.t_prefix_agree row.t_solver_bdd_ops
         row.t_solver_props row.t_solver_conflicts row.t_solver_time
         row.t_partition_dup row.t_partition_saved row.t_partition_time
+        row.t_symbolic_time row.t_symbolic_nodes row.t_symbolic_agree
+        row.t_peak_live
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ]\n}\n";
@@ -524,6 +545,10 @@ type traj_row = {
   j_solver_time : float option;
   j_partition_saved : int option; (* absent in pre-partition baselines *)
   j_partition_time : float option;
+  j_symbolic_agree : bool option; (* absent in pre-symbolic baselines *)
+  j_symbolic_time : float option;
+  j_symbolic_nodes : int option;
+  j_peak_live : int option;
 }
 
 let read_trajectory path =
@@ -567,6 +592,14 @@ let read_trajectory path =
                Option.bind (field_raw line "partition_saved") int_of_string_opt;
              j_partition_time =
                Option.bind (field_raw line "partition_time") float_of_string_opt;
+             j_symbolic_agree =
+               Option.bind (field_raw line "symbolic_agree") bool_of_string_opt;
+             j_symbolic_time =
+               Option.bind (field_raw line "symbolic_time") float_of_string_opt;
+             j_symbolic_nodes =
+               Option.bind (field_raw line "symbolic_nodes") int_of_string_opt;
+             j_peak_live =
+               Option.bind (field_raw line "peak_live_words") int_of_string_opt;
            }
            :: !rows
      done
@@ -672,6 +705,51 @@ let check fresh_path base_path =
           Printf.printf
             "%-16s FAIL: dedup saves %d solver call(s) vs baseline %d\n"
             b.j_name fn bn
+        | _ -> ());
+        (* digest identity is absolute: the symbolic engine rebuilding
+           anything but the byte-identical state graph gates regardless
+           of the baseline — downstream digests must never be able to
+           tell which engine ran *)
+        (match f.j_symbolic_agree with
+        | Some false ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: symbolic state graph diverges from explicit\n"
+            b.j_name
+        | _ -> ());
+        (* symbolic wall time gates with the usual factor and floor *)
+        (match (b.j_symbolic_time, f.j_symbolic_time) with
+        | Some bt, Some ft
+          when ft > (regression_factor *. bt) && ft > regression_floor ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: symbolic engine %.3fs vs baseline %.3fs (> %.1fx)\n"
+            b.j_name ft bt regression_factor
+        | _ -> ());
+        (* fixpoint node counts are deterministic (clustering and
+           variable order are fixed), so growth past the factor is an
+           encoding regression; the floor ignores trivial nets *)
+        (match (b.j_symbolic_nodes, f.j_symbolic_nodes) with
+        | Some bn, Some fn
+          when float_of_int fn > (regression_factor *. float_of_int bn)
+               && fn > 1000 ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: symbolic fixpoint %d nodes vs baseline %d (> %.1fx)\n"
+            b.j_name fn bn regression_factor
+        | _ -> ());
+        (* peak heap words gate a memory blowup anywhere in the row's
+           measurements; rows run in a fixed order, so the snapshot is
+           comparable between fresh and baseline, and a 1M-word floor
+           (8 MB) keeps minor-heap sizing noise out *)
+        (match (b.j_peak_live, f.j_peak_live) with
+        | Some bw, Some fw
+          when float_of_int fw > (regression_factor *. float_of_int bw)
+               && fw > 1_000_000 ->
+          incr failures;
+          Printf.printf
+            "%-16s FAIL: peak heap %d words vs baseline %d (> %.1fx)\n"
+            b.j_name fw bw regression_factor
         | _ -> ());
         (* plan-audit wall time gates with the usual factor and floor *)
         (match (b.j_partition_time, f.j_partition_time) with
@@ -1326,6 +1404,124 @@ let partition_table () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E14: symbolic reachability — BDD fixpoint vs explicit sweep         *)
+(* ------------------------------------------------------------------ *)
+
+(* Best of [reps] wall-clocked runs, each from a compacted heap: the
+   engines allocate at very different rates, so without the compaction
+   whichever runs second pays the other's major-heap float, and the
+   minimum defeats scheduler noise on shared machines. *)
+let best reps f =
+  let m = ref infinity in
+  for _ = 1 to reps do
+    Gc.compact ();
+    let _, t = wall f in
+    if t < !m then m := t
+  done;
+  !m
+
+(* Head-to-head on the engine being replaced (the reachability sweep,
+   where the asymptotic win lives) and end-to-end through [Sg.of_stg]
+   (where marking materialization is already skipped but the derivation
+   stages amortize the win — reported honestly, not gated).  Rows are
+   the acceptance set: parallel_rings 5..8, whose reachable sets grow
+   4^k while the BDD for k independent rings stays linear in k, plus
+   the largest shipped Table 1 nets.  Gates: the symbolic state graph
+   is digest-identical to the explicit one on every row, the engine
+   actually ran symbolically (no silent fallback), and the aggregate
+   reachability speedup — total explicit seconds over total symbolic
+   seconds, so microsecond rows can't vote down the rows that matter —
+   clears 5x. *)
+let symbolic_table () =
+  print_endline
+    "== E14: symbolic reachability — partitioned-transition-relation BDD \
+     fixpoint vs explicit sweep ==";
+  Printf.printf "%-16s %8s | %9s %9s %7s | %9s %9s %7s | %6s %5s %8s %s\n"
+    "instance" "states" "reach(s)" "bdd(s)" "speedup" "sg(s)" "sg-bdd(s)"
+    "speedup" "nodes" "iters" "alloc-dv" "digests";
+  let cap = 2_000_000 in
+  let failures = ref 0 in
+  let sum_explicit = ref 0.0 and sum_symbolic = ref 0.0 in
+  let alloc_mwords f =
+    Gc.compact ();
+    let a0 = Gc.allocated_bytes () in
+    ignore (f ());
+    (Gc.allocated_bytes () -. a0) /. 8e6
+  in
+  let row name stg =
+    let net = Stg.net stg in
+    (* the digest-identity gate runs first and doubles as warm-up for
+       both engines: the very first cold run of either pays the OS
+       first-touch page faults for its working set, which would be
+       charged to whichever engine happened to run first — measured
+       2-3x inflation on the largest rows *)
+    let de = Sg.digest (Sg.of_stg ~max_states:cap stg) in
+    let ds = Sg.digest (Sg.of_stg ~max_states:cap ~backend:`Symbolic stg) in
+    let (n_states, _, _), info =
+      Symbolic.explore_edges_info ~max_states:cap net
+    in
+    let te = best 3 (fun () -> Reach.explore ~max_states:cap net) in
+    let ts = best 3 (fun () -> Symbolic.explore_edges ~max_states:cap net) in
+    let tse = best 2 (fun () -> Sg.digest (Sg.of_stg ~max_states:cap stg)) in
+    let tss =
+      best 2 (fun () ->
+          Sg.digest (Sg.of_stg ~max_states:cap ~backend:`Symbolic stg))
+    in
+    let ae = alloc_mwords (fun () -> Reach.explore ~max_states:cap net) in
+    let asym =
+      alloc_mwords (fun () -> Symbolic.explore_edges ~max_states:cap net)
+    in
+    if de <> ds then begin
+      incr failures;
+      Printf.printf "%-16s FAIL: symbolic digest diverges\n" name
+    end;
+    if not info.Symbolic.i_symbolic then begin
+      incr failures;
+      Printf.printf "%-16s FAIL: fell back to the explicit sweep (%s)\n" name
+        (Option.value info.Symbolic.i_fallback ~default:"?")
+    end;
+    sum_explicit := !sum_explicit +. te;
+    sum_symbolic := !sum_symbolic +. ts;
+    Printf.printf
+      "%-16s %8d | %9.4f %9.4f %6.2fx | %9.4f %9.4f %6.2fx | %6d %5d %7.1fM \
+       %s\n%!"
+      name n_states te ts (te /. ts) tse tss (tse /. tss)
+      info.Symbolic.i_bdd_nodes info.Symbolic.i_iterations (ae -. asym)
+      (if de = ds then "identical" else "DIVERGE")
+  in
+  List.iter
+    (fun rings ->
+      row
+        (Printf.sprintf "parallel_rings-%d" rings)
+        (Bench_gen.parallel_rings ~rings))
+    [ 5; 6; 7; 8 ];
+  List.iter
+    (fun name -> row name ((Bench_suite.find name).Bench_suite.build ()))
+    [ "mr0"; "mr1"; "mmu0"; "mmu1" ];
+  let aggregate = !sum_explicit /. !sum_symbolic in
+  Printf.printf
+    "aggregate reachability speedup: %.2fx (%.3fs explicit / %.3fs symbolic; \
+     target 5x)\n"
+    aggregate !sum_explicit !sum_symbolic;
+  Printf.printf "peak heap after the table: %d words\n"
+    (Gc.quick_stat ()).Gc.top_heap_words;
+  if aggregate < 5.0 then begin
+    incr failures;
+    Printf.printf "E14 FAIL: aggregate speedup %.2fx below the 5x target\n"
+      aggregate
+  end;
+  if !failures = 0 then begin
+    print_endline
+      "E14 ok: digest-identical on every row, no fallback, aggregate \
+       speedup over 5x";
+    0
+  end
+  else begin
+    Printf.printf "E14 FAIL: %d failure(s)\n" !failures;
+    1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1462,6 +1658,7 @@ let () =
   | "prefix" -> exit (prefix_table ())
   | "solver" -> exit (solver_table ())
   | "partition" -> exit (partition_table ())
+  | "symbolic" -> exit (symbolic_table ())
   | "micro" -> micro ()
   | "ablation" -> ablation ()
   | "json" -> exit (json rest)
@@ -1492,13 +1689,15 @@ let () =
     print_newline ();
     ignore (partition_table () : int);
     print_newline ();
+    ignore (symbolic_table () : int);
+    print_newline ();
     ablation ();
     print_newline ();
     micro ()
   | other ->
     Printf.eprintf
       "unknown bench %s (expected table1|clauses|scaling|scaling-methods|\
-       modules|hazard|cache|prefix|solver|partition|ablation|micro|json|\
+       modules|hazard|cache|prefix|solver|partition|symbolic|ablation|micro|json|\
        check|all)\n"
       other;
     exit 2

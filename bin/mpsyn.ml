@@ -18,11 +18,14 @@ open Cmdliner
    0 success; 1 synthesis failure or abort; 2 usage / input errors;
    3 lint rejected the specification; 4 verification failure;
    5 static hazard analysis refuted speed independence (with a
-   replayable counterexample — stronger than a mere lint rejection). *)
+   replayable counterexample — stronger than a mere lint rejection);
+   6 the reachability state budget was exhausted (raise --max-states
+   or synthesize module-by-module). *)
 let exit_usage = 2
 let exit_lint = 3
 let exit_verification = 4
 let exit_refuted = 5
+let exit_budget = 6
 
 let exits =
   [
@@ -45,7 +48,25 @@ let exits =
       ~doc:
         "when the static hazard rules (H1-H5) refute speed independence \
          with a replayable gate-level counterexample.";
+    Cmd.Exit.info exit_budget
+      ~doc:
+        "when reachability exploration exhausts the state budget (more \
+         reachable markings than the exploration cap; the message \
+         carries the budget).";
   ]
+
+(* Every subcommand that explores a state space runs under this guard:
+   exceeding the cap is a budget exhaustion, not a crash, and exits
+   with the documented code and the budget in the message — the same
+   [Reach.Too_many_states] contract whichever engine explored. *)
+let guard_budget f =
+  try f ()
+  with Reach.Too_many_states budget ->
+    Printf.eprintf
+      "mpsyn: state budget exhausted: more than %d reachable markings (the \
+       exploration cap; raise it with --max-states where available)\n"
+      budget;
+    exit exit_budget
 
 (* [load_stg_spans] keeps the source map when the STG comes from a .g
    file, so diagnostics can point into the text. *)
@@ -271,6 +292,7 @@ let lint_cmd =
   in
   let run names json strict netlist hazard prefix partition degenerate plan
       jobs_opt cache_opt =
+    guard_budget @@ fun () ->
     let jobs = resolve_jobs jobs_opt in
     let cache = resolve_cache cache_opt in
     let partition = partition || plan <> None in
@@ -420,6 +442,7 @@ let lint_cmd =
 
 let info_cmd =
   let run stg_name =
+    guard_budget @@ fun () ->
     let stg = load_stg stg_name in
     Format.printf "%a@." Stg.pp stg;
     let issues = Stg.validate stg in
@@ -458,8 +481,20 @@ let print_functions fs =
   List.iter (fun f -> Format.printf "  %a@." Derive.pp_func f) fs
 
 let synth_cmd =
+  let symbolic_arg =
+    let doc =
+      "Force the partitioned-transition-relation BDD engine for \
+       reachability (the complete state graph every module projects \
+       from).  Without it the engine is chosen automatically from the \
+       exact U4 prefix state bound.  Either engine produces a \
+       byte-identical state graph, so this flag only changes how fast \
+       the graph is built."
+    in
+    Arg.(value & flag & info [ "symbolic" ] ~doc)
+  in
   let run stg_name method_ backtrack_limit time_limit hazard_free backend
-      portfolio celements no_lint jobs_opt cache_opt =
+      symbolic portfolio celements no_lint jobs_opt cache_opt =
+    guard_budget @@ fun () ->
     let jobs = resolve_jobs jobs_opt in
     let cache = resolve_cache cache_opt in
     lint_gate ~skip:no_lint stg_name;
@@ -473,6 +508,7 @@ let synth_cmd =
           time_limit;
           hazard_free;
           backend;
+          reach = (if symbolic then `Symbolic else `Auto);
           jobs;
           cache;
         }
@@ -547,11 +583,12 @@ let synth_cmd =
     (Cmd.info "synth" ~exits ~doc:"Synthesize a speed-independent circuit from an STG")
     Term.(
       const run $ stg_arg $ method_arg $ backtrack_arg $ time_arg $ hazard_arg
-      $ backend_arg $ portfolio_arg $ celements_arg $ no_lint_arg $ jobs_arg
-      $ cache_arg)
+      $ backend_arg $ symbolic_arg $ portfolio_arg $ celements_arg $ no_lint_arg
+      $ jobs_arg $ cache_arg)
 
 let bench_cmd =
   let run stg_name =
+    guard_budget @@ fun () ->
     let stg = load_stg stg_name in
     let sg = Sg.of_stg stg in
     Format.printf "%a@." Csc.pp_summary sg;
@@ -650,6 +687,7 @@ let gen_cmd =
 
 let verilog_cmd =
   let run stg_name cache_opt =
+    guard_budget @@ fun () ->
     let cache = resolve_cache cache_opt in
     let stg = load_stg stg_name in
     let r =
@@ -710,6 +748,7 @@ let verify_cmd =
   in
   let run stg_names fuzz seed max_states force_dynamic backtrack_limit
       time_limit backend jobs_opt cache_opt =
+    guard_budget @@ fun () ->
     let jobs = resolve_jobs jobs_opt in
     let cache = resolve_cache cache_opt in
     let failures = ref 0 in
@@ -810,6 +849,7 @@ let verify_cmd =
 
 let dot_cmd =
   let run stg_name =
+    guard_budget @@ fun () ->
     let stg = load_stg stg_name in
     print_string (Sg.to_dot (Sg.of_stg stg));
     0

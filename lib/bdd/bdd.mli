@@ -74,6 +74,33 @@ val restrict : manager -> node -> var:int -> value:bool -> node
     variable).  Raises [Invalid_argument] on a negative variable. *)
 val exists : manager -> int list -> node -> node
 
+(** [and_exists mgr vars f g] is [exists mgr vars (band mgr f g)]
+    computed as one fused recursion — the relational product.  The
+    conjunction [f ∧ g] is never built, which is what makes partitioned
+    symbolic image computation viable: with [f] a reachable-state set
+    and [g] a transition-relation cluster, the un-quantified product
+    routinely dwarfs both operands and the result.  Raises
+    [Invalid_argument] on a negative variable. *)
+val and_exists : manager -> int list -> node -> node -> node
+
+(** Structural observers, for external traversals such as the symbolic
+    reachability layer's canonical onset enumeration.  [top_var] is
+    [max_int] on the constants; [low] and [high] raise
+    [Invalid_argument] on them. *)
+val top_var : manager -> node -> int
+
+val low : manager -> node -> node
+val high : manager -> node -> node
+
+(** [unprime mgr n] renames every odd variable [2p+1] — a next-state
+    variable under the interleaved current/next convention — to its even
+    partner [2p].  Precondition: [n] must not also depend on the even
+    partner of any odd variable it mentions (image computation
+    guarantees this by quantifying the current-state variables away
+    first); the renaming is then order-preserving and the result
+    canonical. *)
+val unprime : manager -> node -> node
+
 (** [is_true n] / [is_false n] test for the constants. *)
 val is_true : node -> bool
 
@@ -81,6 +108,12 @@ val is_false : node -> bool
 
 (** [equal a b] is constant-time (hash-consing). *)
 val equal : node -> node -> bool
+
+(** [index n] is the node's dense non-negative id within its manager,
+    strictly below [n_nodes mgr + 2] at the time of the call — the key
+    for external array-backed memo tables (the symbolic layer's suffix
+    counts), which beat any hashed table on these dense ints. *)
+val index : node -> int
 
 (** [size mgr n] counts the distinct internal nodes of [n]. *)
 val size : manager -> node -> int

@@ -1,11 +1,11 @@
-(** Content-addressed, on-disk memoization store (schema [mpsyn-cache/2]).
+(** Content-addressed, on-disk memoization store (schema [mpsyn-cache/3]).
 
-    One entry per file under [DIR/2/] (the subdirectory is the schema
+    One entry per file under [DIR/3/] (the subdirectory is the schema
     major version: bumping {!schema_version} orphans every old entry at
     once — explicit wholesale invalidation).  An entry is:
 
     {v
-    mpsyn-cache/2\n
+    mpsyn-cache/3\n
     <md5 hex of payload>\n
     <payload: Marshal bytes>
     v}
@@ -31,9 +31,15 @@
 type t
 
 val schema_version : string
-(** ["mpsyn-cache/2"].  v1 → v2: whole-synthesis entries now carry the
+(** ["mpsyn-cache/3"].  v1 → v2: whole-synthesis entries now carry the
     audited partition plan ({!Mpart.result} gained fields), changing
-    their marshal layout — the bump orphans every v1 entry at once. *)
+    their marshal layout — the bump orphans every v1 entry at once.
+    v2 → v3: state graphs precompute their adjacency lists ([Sg.t]
+    gained fields, changing the marshal layout of every entry embedding
+    a graph), and the reachability stage splits into ["sg"] (explicit
+    sweep) and ["symbolic"] (partitioned-transition-relation BDD
+    engine) entries — byte-identical artifacts, recorded under the
+    engine that produced them. *)
 
 val open_dir : ?max_bytes:int -> string -> t
 (** [open_dir dir] opens (creating directories as needed) the store

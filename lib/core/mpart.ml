@@ -14,6 +14,8 @@ type config = {
   prefix_prescreen : bool;
   prefix_max_events : int;
   bdd_threshold : int;
+  reach : [ `Auto | `Explicit | `Symbolic ];
+  symbolic_threshold : int;
   dedup_cones : bool;
   order_by_risk : bool;
   jobs : int;
@@ -33,6 +35,8 @@ let default_config =
     prefix_prescreen = true;
     prefix_max_events = 2048;
     bdd_threshold = 2048;
+    reach = `Auto;
+    symbolic_threshold = 2048;
     dedup_cones = true;
     order_by_risk = true;
     jobs = Pool.default_jobs ();
@@ -45,7 +49,11 @@ let default_config =
 
 (* Everything a cached result depends on besides the content digest.
    [jobs] is deliberately absent: results are bit-identical for any
-   pool width, so entries are shared across --jobs settings. *)
+   pool width, so entries are shared across --jobs settings.  [reach]
+   and [symbolic_threshold] are absent for the same reason — the
+   symbolic engine reproduces the explicit graph byte for byte (tested
+   on every benchmark), so which engine explored is as irrelevant to a
+   cached artifact as how many domains derived it. *)
 let fingerprint config =
   [
     ( "backend",
@@ -704,13 +712,51 @@ let choose_backend config ~state_bound =
   | `Sat, Some n when n >= config.bdd_threshold -> `Bdd
   | b, _ -> b
 
+(* The same flip for the reachability engine: when the exact U4 bound
+   says the explicit sweep will enumerate a large state space, [`Auto]
+   switches to the partitioned-transition-relation BDD engine (whose
+   graph is byte-identical); an explicit [`Explicit]/[`Symbolic] choice
+   — the --symbolic flag — is never overridden. *)
+let choose_reach config ~state_bound =
+  match (config.reach, state_bound) with
+  | `Auto, Some n when n >= config.symbolic_threshold -> `Symbolic
+  | r, _ -> r
+
+(* Resolve an [`Auto] reach engine from the exact prefix bound (U4
+   marking count when the sweep finished, otherwise the marking lower
+   bound).  Without the prefix prescreen there is no bound to consult
+   and [`Auto] stays on the explicit sweep. *)
+let auto_reach config stg =
+  match config.reach with
+  | `Explicit | `Symbolic -> config
+  | `Auto ->
+    if not config.prefix_prescreen then config
+    else begin
+      let p = prefix_summary ~jobs:config.jobs config stg in
+      let state_bound =
+        match p.Prefix_rules.s_sg_states with
+        | Some _ as b -> b
+        | None -> p.Prefix_rules.s_markings
+      in
+      { config with reach = choose_reach config ~state_bound }
+    end
+
 (* Reachability exploration + consistent state assignment, keyed by the
-   canonical [.g] digest of the specification. *)
+   canonical [.g] digest of the specification.  The stage name records
+   which engine explored ("sg" = explicit sweep, "symbolic" = BDD
+   fixpoint); both produce the same bytes, so every downstream stage is
+   keyed off the resulting graph's digest and shared between them. *)
 let complete_of_stg config stg =
-  memoize config ~stage:"sg"
+  let backend =
+    match config.reach with
+    | `Symbolic -> `Symbolic
+    | `Auto | `Explicit -> `Explicit
+  in
+  let stage = match backend with `Symbolic -> "symbolic" | `Explicit -> "sg" in
+  memoize config ~stage
     ~params:[ ("max_states", string_of_int config.max_states) ]
     (Cache_key.stg_digest stg)
-    (fun () -> Sg.of_stg ~max_states:config.max_states stg)
+    (fun () -> Sg.of_stg ~max_states:config.max_states ~backend stg)
 
 (* The partition plan as a standalone artifact (`mpsyn lint
    --partition`): every output's cone derived against the complete
@@ -752,7 +798,7 @@ let synthesize ?(config = default_config) stg =
     (Cache_key.stg_digest stg)
     (fun () ->
       let csc_certified = certificate config stg in
-      let complete = complete_of_stg config stg in
+      let complete = complete_of_stg (auto_reach config stg) stg in
       synthesize_sg ~config ~csc_certified complete)
 
 let synthesize_best ?(config = default_config) stg =
@@ -775,7 +821,11 @@ let synthesize_best ?(config = default_config) stg =
             | Some _ as b -> b
             | None -> p.Prefix_rules.s_markings
           in
-          { config with backend = choose_backend config ~state_bound }
+          {
+            config with
+            backend = choose_backend config ~state_bound;
+            reach = choose_reach config ~state_bound;
+          }
         end
       in
       let complete = complete_of_stg config stg in

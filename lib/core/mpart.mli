@@ -51,6 +51,22 @@ type config = {
       (** U4 state bound at which {!synthesize_best} switches the
           default [`Sat] backend to [`Bdd]; an explicit backend choice
           is never overridden (default 2048) *)
+  reach : [ `Auto | `Explicit | `Symbolic ];
+      (** reachability engine for the complete state graph every module
+          projects from: the explicit marking sweep ([Reach.explore])
+          or the partitioned-transition-relation BDD fixpoint
+          ({!Symbolic}), which produces a byte-identical graph.
+          [`Auto] (the default) consults the exact U4 prefix bound —
+          mirroring the [bdd_threshold] backend flip — and switches to
+          the symbolic engine when the bound reaches
+          [symbolic_threshold]; an explicit choice (the [--symbolic]
+          flag) is never overridden.  Nets outside the symbolic
+          encoding fall back to the explicit sweep internally, so the
+          setting never changes any result, only how fast the graph is
+          built. *)
+  symbolic_threshold : int;
+      (** U4 state bound at which [`Auto] switches the reachability
+          engine to the symbolic fixpoint (default 2048) *)
   dedup_cones : bool;
       (** solve each distinct module cone once: when two outputs'
           modules have the same canonical cone digest (rule M3 — the

@@ -11,6 +11,8 @@ type t = {
   edges : edge array;
   succ : int list array; (* outgoing edge indices per state *)
   pred : int list array;
+  succ_edges : edge list array; (* the same adjacency, resolved once *)
+  pred_edges : edge list array;
   extras : extra array;
   initial : int;
 }
@@ -19,6 +21,10 @@ exception Inconsistent of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Inconsistent s)) fmt
 
+(* Adjacency is indexed once at construction: the edge-index lists (the
+   stable, digested form) and the resolved edge lists the [succ]/[pred]
+   accessors serve.  The accessors used to rebuild their lists on every
+   call — a per-call allocation the CSC sweeps paid millions of times. *)
 let index_edges n_states edges =
   let succ = Array.make n_states [] and pred = Array.make n_states [] in
   Array.iteri
@@ -28,7 +34,8 @@ let index_edges n_states edges =
     edges;
   Array.iteri (fun i l -> succ.(i) <- List.rev l) succ;
   Array.iteri (fun i l -> pred.(i) <- List.rev l) pred;
-  (succ, pred)
+  let resolve l = List.map (fun i -> edges.(i)) l in
+  (succ, pred, Array.map resolve succ, Array.map resolve pred)
 
 let check_edge_codes signals codes e =
   let bit c s = c land (1 lsl s) <> 0 in
@@ -59,8 +66,19 @@ let make ~name ~signals ~codes ~edges ~initial =
       check_edge_codes signals codes e)
     edges;
   let edges = Array.of_list edges in
-  let succ, pred = index_edges n edges in
-  { name; signals; codes; edges; succ; pred; extras = [||]; initial }
+  let succ, pred, succ_edges, pred_edges = index_edges n edges in
+  {
+    name;
+    signals;
+    codes;
+    edges;
+    succ;
+    pred;
+    succ_edges;
+    pred_edges;
+    extras = [||];
+    initial;
+  }
 
 let name sg = sg.name
 let n_states sg = Array.length sg.codes
@@ -81,8 +99,8 @@ let find_signal sg n =
 let code sg m = sg.codes.(m)
 let bit sg m s = sg.codes.(m) land (1 lsl s) <> 0
 let edges sg = sg.edges
-let succ sg m = List.map (fun i -> sg.edges.(i)) sg.succ.(m)
-let pred sg m = List.map (fun i -> sg.edges.(i)) sg.pred.(m)
+let succ sg m = sg.succ_edges.(m)
+let pred sg m = sg.pred_edges.(m)
 let extras sg = sg.extras
 let n_extras sg = Array.length sg.extras
 
@@ -311,27 +329,41 @@ let quotient sg ~keep_signal ~keep_extra =
 
 type edge_kind = Krise | Kfall | Ktoggle | Ksilent
 
-let of_stg ?max_states stg =
+let of_stg ?max_states ?(backend = `Explicit) stg =
   let net = Stg.net stg in
-  let g = Reach.explore ?max_states net in
-  let n = Reach.n_states g in
+  (* Both engines return field-for-field identical graphs (the symbolic
+     builder replays the explicit numbering from its fixpoint and falls
+     back outside the 1-safe encoding), so everything from here on is
+     backend-oblivious and the digests must agree — tests enforce it. *)
   let ns = Stg.n_signals stg in
+  (* one kind per transition, shared by every edge that fires it *)
+  let kinds =
+    Array.init (Petri.n_transitions net) (fun t ->
+        match Stg.label stg t with
+        | Stg.Dummy -> (-1, Ksilent)
+        | Stg.Event e ->
+          ( e.Signal.signal,
+            match e.Signal.dir with
+            | Signal.Rise -> Krise
+            | Signal.Fall -> Kfall
+            | Signal.Toggle -> Ktoggle ))
+  in
+  let kind_of t = kinds.(t) in
   (* kind of each reach edge w.r.t. each signal *)
-  let edge_info =
-    Array.map
-      (fun (src, t, dst) ->
-        let k =
-          match Stg.label stg t with
-          | Stg.Dummy -> (-1, Ksilent)
-          | Stg.Event e -> (
-            ( e.Signal.signal,
-              match e.Signal.dir with
-              | Signal.Rise -> Krise
-              | Signal.Fall -> Kfall
-              | Signal.Toggle -> Ktoggle ))
-        in
-        (src, dst, k))
-      g.Reach.edges
+  let n, edge_info =
+    match backend with
+    | `Explicit ->
+      let g = Reach.explore ?max_states net in
+      ( Reach.n_states g,
+        Array.map (fun (src, t, dst) -> (src, dst, kind_of t)) g.Reach.edges )
+    | `Symbolic ->
+      (* the derivation below reads nothing but the state count and the
+         edges, so the symbolic engine skips the rest of the [Reach.t]
+         materialization and hands over its flat edge buffer *)
+      let n, buf, n_edges = Symbolic.explore_edges ?max_states net in
+      ( n,
+        Array.init n_edges (fun e ->
+            (buf.(3 * e), buf.(3 * e + 2), kind_of buf.(3 * e + 1))) )
   in
   (* Solve the consistent state assignment, one signal at a time, by
      propagating equality/flip constraints over the reachability graph. *)

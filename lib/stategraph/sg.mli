@@ -47,13 +47,19 @@ val make :
   initial:int ->
   t
 
-(** [of_stg ?max_states stg] derives the state graph: explores the
-    reachability graph, computes the consistent state assignment (solving
-    toggle directions on the way), contracts dummy ε transitions, and
-    checks consistency.
+(** [of_stg ?max_states ?backend stg] derives the state graph: explores
+    the reachability graph, computes the consistent state assignment
+    (solving toggle directions on the way), contracts dummy ε
+    transitions, and checks consistency.
+    @param backend which reachability engine explores the net:
+      [`Explicit] (default) enumerates markings one at a time
+      ({!Reach.explore}); [`Symbolic] runs partitioned-transition-
+      relation BDD image computation ({!Symbolic.explore}) and replays
+      the same numbering, so the two produce identical graphs and
+      identical {!digest}s — only the time and memory profile differs.
     @raise Inconsistent if no consistent assignment exists.
     @raise Reach.Too_many_states if exploration exceeds the cap. *)
-val of_stg : ?max_states:int -> Stg.t -> t
+val of_stg : ?max_states:int -> ?backend:[ `Explicit | `Symbolic ] -> Stg.t -> t
 
 (** {1 Accessors} *)
 

@@ -1,0 +1,4 @@
+let calls = Atomic.make 0
+let bump () = Atomic.incr calls
+let total () = Atomic.get calls
+let reset () = Atomic.set calls 0

@@ -1,0 +1,20 @@
+(** Process-wide symbolic-exploration counter.
+
+    {!Symbolic.explore} bumps this counter once per exploration that
+    actually completed symbolically (fallbacks to the explicit sweep
+    bump {!Reach_calls} instead, from inside {!Reach.explore}).  Tests
+    assert on the delta to prove a configuration took the symbolic
+    path, mirroring the {!Reach_calls} / {!Solver_calls} convention of
+    counting instead of trusting the claim.
+
+    The counter is atomic, so explorations issued from pool domains
+    ({!Pool}) are counted exactly under [--jobs N]. *)
+
+(** [bump ()] records one symbolic exploration. *)
+val bump : unit -> unit
+
+(** [total ()] is the number of explorations since start (or last reset). *)
+val total : unit -> int
+
+(** [reset ()] zeroes the counter (single-threaded test use only). *)
+val reset : unit -> unit

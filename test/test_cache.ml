@@ -52,7 +52,7 @@ let with_store ?max_bytes f =
     (fun () -> f dir (Cache_store.open_dir ?max_bytes dir))
 
 (* The entry subdirectory is the schema major version ("2" for
-   mpsyn-cache/2) — derived here the same way the store derives it, so
+   mpsyn-cache/3) — derived here the same way the store derives it, so
    the corruption tests can reach the files without new API surface. *)
 let entry_dir root =
   let v = Cache_store.schema_version in

@@ -344,6 +344,53 @@ let prop_marking_hash_pack =
       && (Marking.pack ma = Marking.pack mb) = eq
       && ((not eq) || Marking.hash ma = Marking.hash mb))
 
+(* The symbolic engine's boolean encoding caps at 62 places (one
+   current-state bit per place in an OCaml int), so 1-safe markings just
+   under and just over that width are exactly the ones the two
+   reachability engines intern hardest.  Pack's bit-packed encoding must
+   stay injective straight across the word- and byte-size boundaries —
+   distinct markings of 58..70 places may never collide, and equal ones
+   must still share an encoding.  Seed pinned via Qseed (QCHECK_SEED
+   overrides). *)
+let prop_pack_injective_wide =
+  let gen_wide =
+    QCheck.Gen.(list_size (int_range 58 70) (int_range 0 1))
+  in
+  QCheck.Test.make ~name:"pack injective near 62 places" ~count:500
+    (QCheck.make
+       ~print:QCheck.Print.(pair (list int) (list int))
+       QCheck.Gen.(pair gen_wide gen_wide))
+    (fun (a, b) ->
+      let ma = Marking.of_array (Array.of_list a) in
+      let mb = Marking.of_array (Array.of_list b) in
+      (Marking.pack ma = Marking.pack mb) = Marking.equal ma mb)
+
+(* Deterministic boundary cases the property above samples only by
+   luck: every single-token marking of widths straddling 62 (the
+   symbolic cap), 64 (the payload byte boundary) and the empty marking
+   of each width must pack to pairwise distinct strings — widths
+   included, since a token in place 61 of 62 and of 63 are different
+   markings with the same bit pattern. *)
+let test_pack_wide_regression () =
+  let widths = [ 61; 62; 63; 64; 65 ] in
+  let encodings =
+    List.concat_map
+      (fun n ->
+        let single p = Array.init n (fun i -> if i = p then 1 else 0) in
+        (Printf.sprintf "%d:empty" n, Marking.pack (Marking.of_array (Array.make n 0)))
+        :: List.init n (fun p ->
+               (Printf.sprintf "%d:p%d" n p, Marking.pack (Marking.of_array (single p)))))
+      widths
+  in
+  List.iteri
+    (fun i (ni, pi) ->
+      List.iteri
+        (fun j (nj, pj) ->
+          if i < j && pi = pj then
+            Alcotest.failf "pack collision: %s vs %s" ni nj)
+        encodings)
+    encodings
+
 let () =
   Alcotest.run "petri"
     [
@@ -388,5 +435,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_reach_explores_ring;
           QCheck_alcotest.to_alcotest prop_invariants_hold_on_benchmarks;
           Qseed.to_alcotest prop_marking_hash_pack;
+          Qseed.to_alcotest prop_pack_injective_wide;
+          Alcotest.test_case "pack wide boundary regression" `Quick
+            test_pack_wide_regression;
         ] );
     ]
